@@ -1,0 +1,325 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§7), plus microbenchmarks of the protocol primitives
+// and ablations of the design choices called out in DESIGN.md.
+//
+// Each BenchmarkFig*/BenchmarkTable* target runs the corresponding
+// experiment end-to-end and reports domain metrics (gap ratios,
+// rounds, record errors) via b.ReportMetric, so `go test -bench=.`
+// regenerates the paper's numbers alongside the timing.
+package tlc_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tlc"
+	"tlc/internal/apps"
+	"tlc/internal/experiment"
+	"tlc/internal/netem"
+	"tlc/internal/poc"
+	"tlc/internal/sim"
+)
+
+// benchOpt is the sweep size used by the figure benches: large enough
+// to be representative, small enough for -bench=. to finish quickly.
+func benchOpt() experiment.Options {
+	return experiment.Options{
+		Duration: 20 * time.Second,
+		Seeds:    1,
+		BGLevels: []float64{0, 100, 160},
+	}
+}
+
+// --- One benchmark per table/figure -------------------------------
+
+func BenchmarkHeadlineGaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.Headline(benchOpt())
+		if res.Text == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig3CongestionGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Fig3(benchOpt())
+	}
+}
+
+func BenchmarkFig4Intermittent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Fig4(benchOpt())
+	}
+}
+
+func BenchmarkFig11cDataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Dataset(benchOpt())
+	}
+}
+
+func BenchmarkFig12SchemeCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Fig12(benchOpt())
+	}
+}
+
+func BenchmarkTable2AverageGap(b *testing.B) {
+	var legacyEps, optEps float64
+	for i := 0; i < b.N; i++ {
+		// Recompute the table's underlying averages for metrics.
+		r := experiment.NewTestbed(experiment.Config{
+			App: apps.VRidgeGVSP, Seed: int64(i), C: 0.5,
+			Duration: 20 * time.Second, BackgroundMbps: 120,
+		}).Run()
+		res := experiment.EvaluateAll(r, int64(i))
+		legacyEps += res[experiment.SchemeLegacy].Epsilon
+		optEps += res[experiment.SchemeOptimal].Epsilon
+	}
+	b.ReportMetric(legacyEps/float64(b.N)*100, "legacy-ε-%")
+	b.ReportMetric(optEps/float64(b.N)*100, "optimal-ε-%")
+}
+
+func BenchmarkFig13CongestionRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Fig13(benchOpt())
+	}
+}
+
+func BenchmarkFig14Disconnectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Fig14(benchOpt())
+	}
+}
+
+func BenchmarkFig15LossWeight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Fig15(benchOpt())
+	}
+}
+
+func BenchmarkFig16aRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Fig16a(benchOpt())
+	}
+}
+
+func BenchmarkFig16bRounds(b *testing.B) {
+	var rounds float64
+	for i := 0; i < b.N; i++ {
+		rounds += experiment.Rounds16bFor(apps.WebCamUDP, benchOpt())
+	}
+	b.ReportMetric(rounds/float64(b.N), "random-rounds")
+}
+
+func BenchmarkFig17PoCCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Fig17(benchOpt())
+	}
+}
+
+func BenchmarkFig18RecordError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.Fig18(experiment.Options{
+			Duration: 20 * time.Second, Seeds: 1, BGLevels: []float64{0, 160},
+		})
+	}
+}
+
+func BenchmarkAppendixDGenericCharging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiment.AppendixD(benchOpt())
+	}
+}
+
+// --- Protocol microbenchmarks --------------------------------------
+
+var (
+	benchKeysOnce *poc.KeyPair
+	benchKeysPeer *poc.KeyPair
+)
+
+func benchKeys(b *testing.B) (*poc.KeyPair, *poc.KeyPair) {
+	b.Helper()
+	if benchKeysOnce == nil {
+		rng := sim.NewRNG(9001)
+		var err error
+		benchKeysOnce, err = poc.GenerateKeyPair(poc.DefaultKeyBits, rng.Fork("a"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchKeysPeer, err = poc.GenerateKeyPair(poc.DefaultKeyBits, rng.Fork("b"))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return benchKeysOnce, benchKeysPeer
+}
+
+func benchPlan() poc.Plan { return poc.Plan{TStart: 0, TEnd: int64(time.Hour), C: 0.5} }
+
+func BenchmarkPoCSign(b *testing.B) {
+	edge, op := benchKeys(b)
+	_ = edge
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := poc.BuildCDR(benchPlan(), poc.RoleOperator, 0, 1e6, rng, op.Private); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoCVerify(b *testing.B) {
+	edge, op := benchKeys(b)
+	rng := sim.NewRNG(2)
+	cdr, _ := poc.BuildCDR(benchPlan(), poc.RoleOperator, 0, 1e6, rng, op.Private)
+	cda, _ := poc.BuildCDA(benchPlan(), poc.RoleEdge, 0, 9.3e5, cdr, rng, edge.Private)
+	proof, _ := poc.BuildPoC(cda, op.Private)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := poc.VerifyStateless(proof, benchPlan(), edge.Public, op.Public); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perHour := 3600 / (b.Elapsed().Seconds() / float64(b.N))
+	b.ReportMetric(perHour/1e3, "K-PoCs/hour")
+}
+
+func BenchmarkPoCNegotiateLocal(b *testing.B) {
+	edgeKeys, err := tlc.GenerateKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opKeys, err := tlc.GenerateKeyPair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	plan := tlc.Plan{Start: start, End: start.Add(time.Hour), C: 0.5}
+	usage := tlc.Usage{Sent: 1e9, Received: 9.3e8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tlc.NegotiateLocal(plan, edgeKeys, opKeys, usage, usage,
+			tlc.Optimal, tlc.Optimal, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCycleSimulation(b *testing.B) {
+	// Raw simulator throughput: one 20s VR cycle per iteration.
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		tb := experiment.NewTestbed(experiment.Config{
+			App: apps.VRidgeGVSP, Seed: int64(i), C: 0.5, Duration: 20 * time.Second,
+		})
+		tb.Run()
+		events += tb.Sched.Fired()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "M-events/s")
+}
+
+func BenchmarkLinkForwarding(b *testing.B) {
+	s := sim.NewScheduler()
+	sink := &netem.Sink{}
+	l := netem.NewLink("bench", s, 1e9, time.Microsecond, 1<<20, sink)
+	ids := &netem.IDGen{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Recv(&netem.Packet{ID: ids.Next(), Size: 1400, QCI: 9})
+		if i%1024 == 0 {
+			s.RunUntil(s.Now() + time.Second)
+		}
+	}
+	s.RunUntil(s.Now() + time.Minute)
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ------------
+
+func BenchmarkAblationQueueSize(b *testing.B) {
+	for _, kb := range []int{64, 256, 1024} {
+		kb := kb
+		b.Run(fmt.Sprintf("%dKiB", kb), func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				r := experiment.NewTestbed(experiment.Config{
+					App: apps.VRidgeGVSP, Seed: int64(i), C: 0.5,
+					Duration:      20 * time.Second,
+					AirQueueBytes: kb << 10,
+					RSS:           experiment.RSSSpec{Base: -90, MeanGap: 8 * time.Second, MeanOutage: 1930 * time.Millisecond},
+				}).Run()
+				loss += (r.Truth.Sent - r.Truth.Received) / r.Truth.Sent
+			}
+			b.ReportMetric(loss/float64(b.N)*100, "loss-%")
+		})
+	}
+}
+
+func BenchmarkAblationCounterCheck(b *testing.B) {
+	for _, period := range []time.Duration{2 * time.Second, 10 * time.Second, 60 * time.Second} {
+		period := period
+		b.Run(period.String(), func(b *testing.B) {
+			var errSum float64
+			for i := 0; i < b.N; i++ {
+				r := experiment.NewTestbed(experiment.Config{
+					App: apps.VRidgeGVSP, Seed: int64(i), C: 0.5,
+					Duration:           20 * time.Second,
+					CounterCheckPeriod: period,
+					RSS:                experiment.RSSSpec{Base: -90, MeanGap: 6 * time.Second, MeanOutage: 2 * time.Second},
+				}).Run()
+				if r.Truth.Received > 0 {
+					d := r.OpView.Received - r.Truth.Received
+					if d < 0 {
+						d = -d
+					}
+					errSum += d / r.Truth.Received
+				}
+			}
+			b.ReportMetric(errSum/float64(b.N)*100, "op-record-err-%")
+		})
+	}
+}
+
+func BenchmarkAblationKeySize(b *testing.B) {
+	for _, bits := range []int{1024, 2048, 3072} {
+		bits := bits
+		b.Run(fmt.Sprintf("RSA-%d", bits), func(b *testing.B) {
+			rng := sim.NewRNG(int64(bits))
+			kp, err := poc.GenerateKeyPair(bits, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var size int
+			for i := 0; i < b.N; i++ {
+				cdr, err := poc.BuildCDR(benchPlan(), poc.RoleOperator, 0, 1e6, rng, kp.Private)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, _ := cdr.MarshalBinary()
+				size = len(d)
+			}
+			b.ReportMetric(float64(size), "CDR-bytes")
+		})
+	}
+}
+
+func BenchmarkAblationCycleLength(b *testing.B) {
+	for _, dur := range []time.Duration{10 * time.Second, 30 * time.Second, 60 * time.Second} {
+		dur := dur
+		b.Run(dur.String(), func(b *testing.B) {
+			var eps float64
+			for i := 0; i < b.N; i++ {
+				r := experiment.NewTestbed(experiment.Config{
+					App: apps.VRidgeGVSP, Seed: int64(i), C: 0.5, Duration: dur,
+				}).Run()
+				eps += experiment.Evaluate(r, experiment.SchemeOptimal, int64(i)).Epsilon
+			}
+			// Longer cycles amortise boundary skew: ε shrinks.
+			b.ReportMetric(eps/float64(b.N)*100, "optimal-ε-%")
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Command tlcbench regenerates the paper's evaluation tables and
+// figures on the emulated testbed.
+//
+// Usage:
+//
+//	tlcbench -experiment all
+//	tlcbench -experiment fig12 -duration 60s -seeds 3
+//	tlcbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tlc/internal/experiment"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "experiment id or 'all'")
+		duration = flag.Duration("duration", 60*time.Second, "charging cycle length per run")
+		seeds    = flag.Int("seeds", 3, "repetitions per grid point")
+		quick    = flag.Bool("quick", false, "small configuration for smoke runs")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiment.IDs, "\n"))
+		return
+	}
+
+	opt := experiment.Options{Duration: *duration, Seeds: *seeds}
+	if *quick {
+		opt = experiment.Quick()
+	}
+
+	run := func(id string) {
+		f, ok := experiment.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tlcbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := f(opt)
+		fmt.Printf("== %s — %s ==\n%s(elapsed %v)\n\n", res.ID, res.Title, res.Text, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, id := range experiment.IDs {
+			run(id)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(id))
+	}
+}

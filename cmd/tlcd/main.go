@@ -1,0 +1,168 @@
+// Command tlcd runs one side of a TLC charging negotiation over TCP:
+// an operator endpoint that serves negotiations, or an edge client
+// that settles a cycle against it. It demonstrates the protocol on a
+// real network; keys are generated on startup and exchanged over a
+// preliminary frame (a production deployment would provision them out
+// of band, §5.3.1).
+//
+// Usage:
+//
+//	tlcd -role operator -listen :7075 -sent 1000000 -received 930000
+//	tlcd -role edge -connect localhost:7075 -sent 1000000 -received 930000 \
+//	     -proof-out cycle.poc
+package main
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"tlc"
+	"tlc/internal/protocol"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "operator", "operator or edge")
+		listen   = flag.String("listen", ":7075", "operator listen address")
+		connect  = flag.String("connect", "", "edge: operator address to dial")
+		sent     = flag.Uint64("sent", 0, "usage view: bytes the edge sent")
+		received = flag.Uint64("received", 0, "usage view: bytes the edge received")
+		c        = flag.Float64("c", 0.5, "lost-data charging weight")
+		cycleDur = flag.Duration("cycle-dur", time.Hour, "charging cycle duration")
+		strategy = flag.String("strategy", "optimal", "honest, optimal or random")
+		keyPath  = flag.String("key", "", "own private key PEM (from tlckeys); generated if empty")
+		proofOut = flag.String("proof-out", "", "write the settled proof here")
+		once     = flag.Bool("once", true, "operator: exit after one negotiation")
+	)
+	flag.Parse()
+
+	strat := tlc.Optimal
+	switch *strategy {
+	case "honest":
+		strat = tlc.Honest
+	case "random":
+		strat = tlc.RandomSelfish
+	case "optimal":
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	var keys *tlc.KeyPair
+	var err error
+	if *keyPath != "" {
+		keys, err = tlc.LoadKeyPair(*keyPath)
+	} else {
+		keys, err = tlc.GenerateKeyPair()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	end := time.Now().Truncate(time.Hour)
+	plan := tlc.Plan{Start: end.Add(-*cycleDur), End: end, C: *c}
+	usage := tlc.Usage{Sent: *sent, Received: *received}
+
+	switch *role {
+	case "operator":
+		runOperator(*listen, plan, keys, usage, strat, *proofOut, *once)
+	case "edge":
+		if *connect == "" {
+			log.Fatal("edge role requires -connect")
+		}
+		runEdge(*connect, plan, keys, usage, strat, *proofOut)
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+}
+
+// exchangeKeys swaps PKIX-encoded public keys over the connection:
+// each side writes its key as one frame and reads the peer's.
+func exchangeKeys(conn net.Conn, own *rsa.PublicKey) (*rsa.PublicKey, error) {
+	der, err := x509.MarshalPKIXPublicKey(own)
+	if err != nil {
+		return nil, err
+	}
+	if err := protocol.WriteFrame(conn, der); err != nil {
+		return nil, err
+	}
+	peerDER, err := protocol.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := x509.ParsePKIXPublicKey(peerDER)
+	if err != nil {
+		return nil, err
+	}
+	rsaPub, ok := pub.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("peer key is not RSA")
+	}
+	return rsaPub, nil
+}
+
+func settle(conn net.Conn, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
+	usage tlc.Usage, strat tlc.Strategy, initiate bool, proofOut string) error {
+	peerKey, err := exchangeKeys(conn, keys.Public())
+	if err != nil {
+		return fmt.Errorf("key exchange: %w", err)
+	}
+	n := tlc.NewNegotiator(role, plan, keys, peerKey, usage, strat)
+	receipt, err := n.Negotiate(conn, initiate)
+	if err != nil {
+		return fmt.Errorf("negotiate: %w", err)
+	}
+	log.Printf("settled: %d bytes in %d round(s); proof %d bytes",
+		receipt.X, receipt.Rounds, len(receipt.Proof))
+	if proofOut != "" {
+		if err := os.WriteFile(proofOut, receipt.Proof, 0o644); err != nil {
+			return err
+		}
+		log.Printf("proof written to %s", proofOut)
+	}
+	return nil
+}
+
+func runOperator(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
+	strat tlc.Strategy, proofOut string, once bool) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("operator listening on %s (plan c=%.2f cycle=[%s, %s))",
+		ln.Addr(), plan.C, plan.Start.Format(time.RFC3339), plan.End.Format(time.RFC3339))
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		func() {
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(time.Minute))
+			if err := settle(conn, tlc.Operator, plan, keys, usage, strat, true, proofOut); err != nil {
+				log.Printf("negotiation with %s failed: %v", conn.RemoteAddr(), err)
+			}
+		}()
+		if once {
+			return
+		}
+	}
+}
+
+func runEdge(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
+	strat tlc.Strategy, proofOut string) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Minute))
+	if err := settle(conn, tlc.Edge, plan, keys, usage, strat, false, proofOut); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+// Command tlckeys generates the RSA key pair of §5.3.1 and writes it
+// as PEM files: <name>.key (PKCS#8 private, mode 0600) and <name>.pub
+// (PKIX public, mode 0644). The public half is what a party publishes
+// to its peer and to verifiers.
+//
+// Usage:
+//
+//	tlckeys -out edge          # writes edge.key and edge.pub
+//	tlckeys -out operator -bits 2048
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tlc/internal/keyio"
+	"tlc/internal/poc"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "tlc", "output file prefix")
+		bits = flag.Int("bits", poc.DefaultKeyBits, "RSA modulus bits")
+	)
+	flag.Parse()
+
+	kp, err := poc.GenerateKeyPair(*bits, nil)
+	if err != nil {
+		log.Fatalf("tlckeys: %v", err)
+	}
+	privPath, pubPath := *out+".key", *out+".pub"
+	if err := keyio.SavePrivateKey(privPath, kp.Private); err != nil {
+		log.Fatalf("tlckeys: %v", err)
+	}
+	if err := keyio.SavePublicKey(pubPath, kp.Public); err != nil {
+		log.Fatalf("tlckeys: %v", err)
+	}
+	fmt.Printf("wrote %s (private, keep secret) and %s (public, RSA-%d)\n", privPath, pubPath, *bits)
+}

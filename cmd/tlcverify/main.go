@@ -1,0 +1,81 @@
+// Command tlcverify is a standalone public verifier (Algorithm 2): it
+// checks serialized Proof-of-Charging files against a published data
+// plan and the two parties' public keys, as an FCC/court/MVNO auditor
+// would (§5.3.4).
+//
+// Usage:
+//
+//	tlcverify -edge-key edge.pub -operator-key op.pub \
+//	          -cycle-start 2019-01-07T07:13:46Z -cycle-dur 1h -c 0.5 \
+//	          proof1.poc proof2.poc ...
+//
+// Keys are PKIX PEM public keys. Exit status 0 means every proof
+// verified.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tlc"
+	"tlc/internal/keyio"
+)
+
+func main() {
+	var (
+		edgePath   = flag.String("edge-key", "", "edge vendor public key (PEM)")
+		opPath     = flag.String("operator-key", "", "operator public key (PEM)")
+		cycleStart = flag.String("cycle-start", "", "cycle start (RFC 3339)")
+		cycleDur   = flag.Duration("cycle-dur", time.Hour, "cycle duration")
+		c          = flag.Float64("c", 0.5, "lost-data charging weight")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tlcverify: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	if *edgePath == "" || *opPath == "" || *cycleStart == "" {
+		fail("-edge-key, -operator-key and -cycle-start are required")
+	}
+	edgeKey, err := keyio.LoadPublicKey(*edgePath)
+	if err != nil {
+		fail("edge key: %v", err)
+	}
+	opKey, err := keyio.LoadPublicKey(*opPath)
+	if err != nil {
+		fail("operator key: %v", err)
+	}
+	start, err := time.Parse(time.RFC3339, *cycleStart)
+	if err != nil {
+		fail("cycle-start: %v", err)
+	}
+	plan := tlc.Plan{Start: start, End: start.Add(*cycleDur), C: *c}
+	if err := plan.Validate(); err != nil {
+		fail("%v", err)
+	}
+
+	verifier := tlc.NewVerifier(edgeKey, opKey)
+	bad := 0
+	for _, path := range flag.Args() {
+		proof, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Printf("%s: READ ERROR: %v\n", path, err)
+			bad++
+			continue
+		}
+		if err := verifier.Verify(proof, plan); err != nil {
+			fmt.Printf("%s: INVALID: %v\n", path, err)
+			bad++
+			continue
+		}
+		vol, _ := tlc.ProofVolume(proof)
+		fmt.Printf("%s: OK (settled %d bytes)\n", path, vol)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+package tlc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEndToEndCLI builds the real binaries and drives the full
+// operational workflow: generate keys with tlckeys, settle a cycle
+// between a tlcd operator and a tlcd edge over TCP, then verify the
+// stored proof with tlcverify — the complete §5.3 lifecycle as a user
+// would run it.
+func TestEndToEndCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	tlcd := build("tlcd")
+	tlcverify := build("tlcverify")
+	tlckeys := build("tlckeys")
+
+	// 1. Key setup (§5.3.1): each party generates a pair and
+	//    publishes the public half.
+	for _, party := range []string{"edge", "operator"} {
+		out, err := exec.Command(tlckeys, "-out", filepath.Join(dir, party)).CombinedOutput()
+		if err != nil {
+			t.Fatalf("tlckeys %s: %v\n%s", party, err, out)
+		}
+		for _, suffix := range []string{".key", ".pub"} {
+			if _, err := os.Stat(filepath.Join(dir, party+suffix)); err != nil {
+				t.Fatalf("tlckeys did not write %s%s: %v", party, suffix, err)
+			}
+		}
+	}
+
+	// 2. Settle a cycle over TCP with the persisted keys.
+	const addr = "127.0.0.1:17075"
+	opProof := filepath.Join(dir, "op.poc")
+	edgeProof := filepath.Join(dir, "edge.poc")
+	operator := exec.Command(tlcd, "-role", "operator", "-listen", addr,
+		"-key", filepath.Join(dir, "operator.key"),
+		"-sent", "1000000", "-received", "930000", "-proof-out", opProof)
+	if err := operator.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer operator.Process.Kill()
+
+	var edgeOut []byte
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		edge := exec.Command(tlcd, "-role", "edge", "-connect", addr,
+			"-key", filepath.Join(dir, "edge.key"),
+			"-sent", "1000000", "-received", "930000", "-proof-out", edgeProof)
+		edgeOut, err = edge.CombinedOutput()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("edge settlement never succeeded: %v\n%s", err, edgeOut)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(string(edgeOut), "settled: 965000 bytes in 1 round(s)") {
+		t.Fatalf("edge output:\n%s", edgeOut)
+	}
+	if err := operator.Wait(); err != nil {
+		t.Fatalf("operator exited with %v", err)
+	}
+
+	// Both sides stored byte-identical proofs.
+	p1, err := os.ReadFile(opProof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := os.ReadFile(edgeProof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p1) != string(p2) {
+		t.Fatal("operator and edge stored different proofs")
+	}
+
+	// 3. Public verification (§5.3.3). tlcd anchors the cycle at the
+	//    current hour, so feed tlcverify the same window.
+	cycleStart := time.Now().Truncate(time.Hour).Add(-time.Hour).UTC().Format(time.RFC3339)
+	okOut, err := exec.Command(tlcverify,
+		"-edge-key", filepath.Join(dir, "edge.pub"),
+		"-operator-key", filepath.Join(dir, "operator.pub"),
+		"-cycle-start", cycleStart,
+		opProof).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tlcverify rejected a valid proof: %v\n%s", err, okOut)
+	}
+	if !strings.Contains(string(okOut), "OK (settled 965000 bytes)") {
+		t.Fatalf("tlcverify output:\n%s", okOut)
+	}
+
+	// 4. Negative path: unrelated keys must be rejected.
+	wrongOut, err := exec.Command(tlcverify,
+		"-edge-key", filepath.Join(dir, "edge.pub"),
+		"-operator-key", filepath.Join(dir, "edge.pub"),
+		"-cycle-start", cycleStart,
+		opProof).CombinedOutput()
+	if err == nil {
+		t.Fatalf("tlcverify accepted a proof under unrelated keys:\n%s", wrongOut)
+	}
+	if !strings.Contains(string(wrongOut), "INVALID") {
+		t.Fatalf("tlcverify output:\n%s", wrongOut)
+	}
+}

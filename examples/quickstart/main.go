@@ -1,0 +1,70 @@
+// Quickstart: settle one charging cycle between an edge vendor and a
+// cellular operator, then verify the Proof-of-Charging as a third
+// party would.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tlc"
+)
+
+func main() {
+	// §5.3.1 setup: each party generates keys and publishes the
+	// public half; both agree on the plan (cycle T and lost-data
+	// weight c).
+	edgeKeys, err := tlc.GenerateKeyPair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opKeys, err := tlc.GenerateKeyPair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now().Truncate(time.Hour)
+	plan := tlc.Plan{Start: start, End: start.Add(time.Hour), C: 0.5}
+
+	// During the cycle each party metered the traffic at its end:
+	// the edge counted 1.0 GB sent, of which 0.93 GB arrived (UDP
+	// loss on the air interface). Under legacy 4G/5G they would now
+	// disagree about the bill.
+	edgeUsage := tlc.Usage{Sent: 1_000_000_000, Received: 930_000_000}
+	opUsage := tlc.Usage{Sent: 1_000_000_000, Received: 930_000_000}
+
+	// Loss-selfishness cancellation (§5.1): with both parties
+	// playing the rational optimal strategy the negotiation settles
+	// in exactly one round at the plan-correct volume.
+	opReceipt, edgeReceipt, err := tlc.NegotiateLocal(
+		plan, edgeKeys, opKeys, edgeUsage, opUsage,
+		tlc.Optimal, tlc.Optimal, time.Now().UnixNano())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	expected := tlc.ExpectedCharge(plan, edgeUsage)
+	fmt.Printf("expected charge x̂ : %d bytes\n", expected)
+	fmt.Printf("settled (operator): %d bytes in %d round(s)\n", opReceipt.X, opReceipt.Rounds)
+	fmt.Printf("settled (edge)    : %d bytes\n", edgeReceipt.X)
+	fmt.Printf("proof size        : %d bytes\n", len(opReceipt.Proof))
+
+	// §5.3.3 public verification: an independent third party (FCC,
+	// court, MVNO) audits the proof without seeing any traffic.
+	if err := tlc.Verify(opReceipt.Proof, plan, edgeKeys.Public(), opKeys.Public()); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("proof-of-charging : VERIFIED")
+
+	// Tampering is caught: a selfish operator inflating the settled
+	// volume breaks the signature chain.
+	forged := append([]byte(nil), opReceipt.Proof...)
+	forged[len(forged)/2] ^= 0xFF
+	if err := tlc.Verify(forged, plan, edgeKeys.Public(), opKeys.Public()); err != nil {
+		fmt.Printf("forged proof      : rejected (%v)\n", err)
+	} else {
+		log.Fatal("forged proof verified!")
+	}
+}

@@ -1,0 +1,50 @@
+// Webcam: the outdoor targeted-advertisement scenario of §2.2 — a
+// roadside camera streams car images uplink over LTE, 24x7, and the
+// advertiser wants to be sure the operator charges faithfully.
+//
+// The example runs three one-minute charging cycles on the emulated
+// testbed at increasing congestion and compares what legacy 4G/5G
+// would bill against TLC.
+//
+//	go run ./examples/webcam
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tlc"
+)
+
+func main() {
+	fmt.Println("Targeted-ad WebCam (RTSP uplink, 1080p30, ~0.77 Mbps)")
+	fmt.Printf("%-10s %12s %12s | %14s %14s %14s\n",
+		"bg (Mbps)", "sent (MB)", "recv (MB)", "legacy gap", "TLC-random", "TLC-optimal")
+
+	for i, bg := range []float64{0, 100, 160} {
+		rep, err := tlc.RunScenario(tlc.Scenario{
+			App:            "WebCam-RTSP",
+			Duration:       60 * time.Second,
+			C:              0.5,
+			BackgroundMbps: bg,
+			Seed:           int64(1000 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.0f %12.2f %12.2f | %13.2f%% %13.2f%% %13.2f%%\n",
+			bg,
+			float64(rep.SentBytes)/1e6,
+			float64(rep.ReceivedBytes)/1e6,
+			rep.Legacy.GapRatio*100,
+			rep.TLCRandom.GapRatio*100,
+			rep.TLCOptimal.GapRatio*100)
+	}
+
+	fmt.Println()
+	fmt.Println("The advertiser's 24x7 camera would accumulate the legacy gap")
+	fmt.Println("every hour; TLC settles each cycle at the plan-correct volume")
+	fmt.Println("in one negotiation round and leaves both sides with a publicly")
+	fmt.Println("verifiable receipt.")
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests validate Appendix C numerically: over a discretised
+// claim grid bounded by Theorem 2 (x̂o ≤ claims ≤ x̂e), the edge's
+// minimax claim is x̂o, the operator's maximin claim is x̂e, both
+// game values equal x̂, and the pair is a Nash equilibrium of the
+// charge function.
+
+// grid enumerates claims between received and sent.
+func grid(received, sent float64, steps int) []float64 {
+	out := make([]float64, steps+1)
+	for i := 0; i <= steps; i++ {
+		out[i] = received + (sent-received)*float64(i)/float64(steps)
+	}
+	return out
+}
+
+// worstForEdge is max over xo of the charge, for a fixed xe.
+func worstForEdge(c, xe float64, claims []float64) float64 {
+	worst := math.Inf(-1)
+	for _, xo := range claims {
+		if x := Charge(c, xe, xo); x > worst {
+			worst = x
+		}
+	}
+	return worst
+}
+
+// worstForOperator is min over xe of the charge, for a fixed xo.
+func worstForOperator(c, xo float64, claims []float64) float64 {
+	worst := math.Inf(1)
+	for _, xe := range claims {
+		if x := Charge(c, xe, xo); x < worst {
+			worst = x
+		}
+	}
+	return worst
+}
+
+func TestMinimaxEdgeClaimIsReceived(t *testing.T) {
+	const received, sent = 900.0, 1000.0
+	claims := grid(received, sent, 200)
+	for _, c := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		bestClaim, bestVal := 0.0, math.Inf(1)
+		for _, xe := range claims {
+			if v := worstForEdge(c, xe, claims); v < bestVal {
+				bestVal, bestClaim = v, xe
+			}
+		}
+		if math.Abs(bestClaim-received) > 1e-9 {
+			t.Fatalf("c=%v: argmin-max xe = %v, want x̂o = %v", c, bestClaim, received)
+		}
+		// The game value at the optimum is x̂ (Appendix C eq. 5).
+		want := Expected(c, sent, received)
+		if math.Abs(bestVal-want) > 1e-6 {
+			t.Fatalf("c=%v: minimax value = %v, want x̂ = %v", c, bestVal, want)
+		}
+	}
+}
+
+func TestMaximinOperatorClaimIsSent(t *testing.T) {
+	const received, sent = 900.0, 1000.0
+	claims := grid(received, sent, 200)
+	for _, c := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		bestClaim, bestVal := 0.0, math.Inf(-1)
+		for _, xo := range claims {
+			if v := worstForOperator(c, xo, claims); v > bestVal {
+				bestVal, bestClaim = v, xo
+			}
+		}
+		if math.Abs(bestClaim-sent) > 1e-9 {
+			t.Fatalf("c=%v: argmax-min xo = %v, want x̂e = %v", c, bestClaim, sent)
+		}
+		want := Expected(c, sent, received)
+		if math.Abs(bestVal-want) > 1e-6 {
+			t.Fatalf("c=%v: maximin value = %v, want x̂ = %v", c, bestVal, want)
+		}
+	}
+}
+
+func TestMinimaxEqualsMaximin(t *testing.T) {
+	// The coherence condition of §5.1 footnote 6: min-max equals
+	// max-min, so a unique pure-strategy Nash equilibrium exists.
+	const received, sent = 420.0, 5000.0
+	claims := grid(received, sent, 400)
+	for _, c := range []float64{0, 0.3, 0.5, 0.8, 1} {
+		minimax := math.Inf(1)
+		for _, xe := range claims {
+			if v := worstForEdge(c, xe, claims); v < minimax {
+				minimax = v
+			}
+		}
+		maximin := math.Inf(-1)
+		for _, xo := range claims {
+			if v := worstForOperator(c, xo, claims); v > maximin {
+				maximin = v
+			}
+		}
+		if math.Abs(minimax-maximin) > 1e-6 {
+			t.Fatalf("c=%v: minimax %v != maximin %v", c, minimax, maximin)
+		}
+	}
+}
+
+func TestEquilibriumIsNash(t *testing.T) {
+	// At (xe = x̂o, xo = x̂e) neither party can improve unilaterally:
+	// any edge deviation raises the charge; any operator deviation
+	// lowers it (strictly, for 0 < c < 1).
+	const received, sent = 900.0, 1000.0
+	claims := grid(received, sent, 100)
+	for _, c := range []float64{0.25, 0.5, 0.75} {
+		eq := Charge(c, received, sent) // xe = x̂o, xo = x̂e
+		for _, dev := range claims {
+			if dev == received {
+				continue
+			}
+			if got := Charge(c, dev, sent); got < eq-1e-9 {
+				t.Fatalf("c=%v: edge deviation xe=%v pays %v < equilibrium %v", c, dev, got, eq)
+			}
+		}
+		for _, dev := range claims {
+			if dev == sent {
+				continue
+			}
+			if got := Charge(c, received, dev); got > eq+1e-9 {
+				t.Fatalf("c=%v: operator deviation xo=%v earns %v > equilibrium %v", c, dev, got, eq)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package epc
+
+import "sort"
+
+// OFCS is the offline charging system (CDF in 4G, CHF in 5G): it
+// collects CDRs from the gateway, aggregates them into per-subscriber
+// usage, and applies policy-driven actions such as throttling once a
+// plan quota is exceeded. TLC's loss-selfishness cancellation is
+// realised "atop existing charging functions" (§6), so the operator
+// side of the negotiation reads its charging record from here.
+type OFCS struct {
+	// OnQuotaExceeded fires once per subscriber when cumulative
+	// usage passes the plan quota; the testbed uses it to throttle.
+	OnQuotaExceeded func(imsi string, usage uint64)
+
+	plan     Plan
+	hasPlan  bool
+	cdrs     []*CDR
+	usage    map[string]*Usage
+	exceeded map[string]bool
+}
+
+// Usage is per-subscriber aggregated usage.
+type Usage struct {
+	IMSI    string
+	UL      uint64
+	DL      uint64
+	Records int
+}
+
+// Total returns UL+DL bytes.
+func (u *Usage) Total() uint64 { return u.UL + u.DL }
+
+// NewOFCS returns an empty charging system.
+func NewOFCS() *OFCS {
+	return &OFCS{usage: make(map[string]*Usage), exceeded: make(map[string]bool)}
+}
+
+// SetPlan installs the data plan whose quota the OFCS enforces.
+func (o *OFCS) SetPlan(p Plan) {
+	o.plan = p
+	o.hasPlan = true
+}
+
+// Collect ingests one CDR.
+func (o *OFCS) Collect(c *CDR) {
+	o.cdrs = append(o.cdrs, c)
+	u, ok := o.usage[c.ServedIMSI]
+	if !ok {
+		u = &Usage{IMSI: c.ServedIMSI}
+		o.usage[c.ServedIMSI] = u
+	}
+	u.UL += c.DataVolumeUplink
+	u.DL += c.DataVolumeDownlink
+	u.Records++
+	if o.hasPlan && o.plan.QuotaBytes > 0 && !o.exceeded[c.ServedIMSI] && u.Total() > o.plan.QuotaBytes {
+		o.exceeded[c.ServedIMSI] = true
+		if o.OnQuotaExceeded != nil {
+			o.OnQuotaExceeded(c.ServedIMSI, u.Total())
+		}
+	}
+}
+
+// Records returns the number of CDRs collected (the dataset size
+// reported in Figure 11c).
+func (o *OFCS) Records() int { return len(o.cdrs) }
+
+// CDRs returns the collected records.
+func (o *OFCS) CDRs() []*CDR { return o.cdrs }
+
+// UsageFor returns the aggregated usage for a subscriber (by its
+// Trace-1 formatted IMSI, as carried in the CDRs).
+func (o *OFCS) UsageFor(imsi string) (*Usage, bool) {
+	u, ok := o.usage[imsi]
+	return u, ok
+}
+
+// TotalVolume returns all charged bytes across subscribers.
+func (o *OFCS) TotalVolume() uint64 {
+	var total uint64
+	for _, u := range o.usage {
+		total += u.Total()
+	}
+	return total
+}
+
+// Subscribers returns the IMSIs seen, sorted for deterministic
+// iteration.
+func (o *OFCS) Subscribers() []string {
+	out := make([]string, 0, len(o.usage))
+	for imsi := range o.usage {
+		out = append(out, imsi)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QuotaExceeded reports whether a subscriber passed the plan quota.
+func (o *OFCS) QuotaExceeded(imsi string) bool { return o.exceeded[imsi] }

@@ -1,0 +1,157 @@
+package epc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// The Rf interface carries accounting records from the charging
+// trigger function (the SPGW) to the offline charging system. 3GPP
+// uses Diameter ACR/ACA pairs; the emulation keeps the same
+// request/answer discipline with a compact framing: each record is
+// acknowledged by sequence number, and unacknowledged records are the
+// sender's to retry. This lets a deployment run the OFCS as a
+// separate process reachable over TCP, like OpenEPC's function VMs.
+
+// Rf frame types.
+const (
+	rfTypeACR byte = 1 // accounting request (carries one CDR as XML)
+	rfTypeACA byte = 2 // accounting answer
+)
+
+// rf result codes (mirroring Diameter's success/failure split).
+const (
+	RfResultSuccess     uint8 = 1
+	RfResultMalformed   uint8 = 2
+	RfResultUnsupported uint8 = 3
+)
+
+// maxRfFrame bounds one record on the wire.
+const maxRfFrame = 1 << 20
+
+func writeRfFrame(w io.Writer, typ byte, seq uint32, result uint8, payload []byte) error {
+	if len(payload) > maxRfFrame {
+		return fmt.Errorf("epc: rf frame too large (%d bytes)", len(payload))
+	}
+	frame := make([]byte, 10+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload))+6)
+	frame[4] = typ
+	binary.BigEndian.PutUint32(frame[5:9], seq)
+	frame[9] = result
+	copy(frame[10:], payload)
+	_, err := w.Write(frame)
+	return err
+}
+
+func readRfFrame(r io.Reader) (typ byte, seq uint32, result uint8, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 6 || n > maxRfFrame {
+		err = fmt.Errorf("epc: bad rf frame length %d", n)
+		return
+	}
+	body := make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return
+	}
+	typ = body[0]
+	seq = binary.BigEndian.Uint32(body[1:5])
+	result = body[5]
+	payload = body[6:]
+	return
+}
+
+// RfClient is the gateway-side accounting sender.
+type RfClient struct {
+	conn io.ReadWriter
+	seq  uint32
+
+	// Sent and Acked count records for retry bookkeeping.
+	Sent  uint32
+	Acked uint32
+}
+
+// NewRfClient wraps a connection to the OFCS.
+func NewRfClient(conn io.ReadWriter) *RfClient {
+	return &RfClient{conn: conn}
+}
+
+// Send transfers one CDR and waits for its answer. A non-success
+// answer surfaces as an error (the caller re-queues the record).
+func (c *RfClient) Send(cdr *CDR) error {
+	payload, err := cdr.MarshalXMLText()
+	if err != nil {
+		return err
+	}
+	c.seq++
+	seq := c.seq
+	if err := writeRfFrame(c.conn, rfTypeACR, seq, 0, payload); err != nil {
+		return fmt.Errorf("epc: rf send: %w", err)
+	}
+	c.Sent++
+	typ, gotSeq, result, _, err := readRfFrame(c.conn)
+	if err != nil {
+		return fmt.Errorf("epc: rf answer: %w", err)
+	}
+	if typ != rfTypeACA {
+		return fmt.Errorf("epc: rf answer has type %d", typ)
+	}
+	if gotSeq != seq {
+		return fmt.Errorf("epc: rf answer for seq %d, want %d", gotSeq, seq)
+	}
+	if result != RfResultSuccess {
+		return fmt.Errorf("epc: rf record rejected with result %d", result)
+	}
+	c.Acked++
+	return nil
+}
+
+// RfServer is the OFCS-side accounting receiver.
+type RfServer struct {
+	OFCS *OFCS
+
+	// Received and Rejected count processed frames.
+	Received uint64
+	Rejected uint64
+}
+
+// Serve processes accounting requests until the connection ends. It
+// returns nil on clean EOF.
+func (s *RfServer) Serve(conn io.ReadWriter) error {
+	for {
+		typ, seq, _, payload, err := readRfFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if typ != rfTypeACR {
+			if err := writeRfFrame(conn, rfTypeACA, seq, RfResultUnsupported, nil); err != nil {
+				return err
+			}
+			s.Rejected++
+			continue
+		}
+		cdr, err := ParseCDRXML(payload)
+		if err != nil {
+			if err := writeRfFrame(conn, rfTypeACA, seq, RfResultMalformed, nil); err != nil {
+				return err
+			}
+			s.Rejected++
+			continue
+		}
+		s.OFCS.Collect(cdr)
+		s.Received++
+		if err := writeRfFrame(conn, rfTypeACA, seq, RfResultSuccess, nil); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package epc
+
+import (
+	"net"
+	"strings"
+	"testing"
+)
+
+func rfPair(t *testing.T) (*RfClient, *RfServer, *OFCS, func()) {
+	t.Helper()
+	cliConn, srvConn := net.Pipe()
+	ofcs := NewOFCS()
+	srv := &RfServer{OFCS: ofcs}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(srvConn) }()
+	cleanup := func() {
+		cliConn.Close()
+		srvConn.Close()
+		if err := <-done; err != nil {
+			t.Errorf("server: %v", err)
+		}
+	}
+	return NewRfClient(cliConn), srv, ofcs, cleanup
+}
+
+func sampleCDR(seq uint32, ul uint64) *CDR {
+	return &CDR{
+		ServedIMSI:       "00 01 11 32 54 76 48 F5",
+		GatewayAddress:   "192.168.2.11",
+		SequenceNumber:   seq,
+		TimeOfFirstUsage: "2019-01-07 07:13:46",
+		TimeOfLastUsage:  "2019-01-07 08:13:46",
+		TimeUsage:        3600,
+		DataVolumeUplink: ul,
+	}
+}
+
+func TestRfTransfersCDRs(t *testing.T) {
+	cli, srv, ofcs, cleanup := rfPair(t)
+	for i := uint32(0); i < 10; i++ {
+		if err := cli.Send(sampleCDR(i, 100)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	cleanup()
+	if srv.Received != 10 || srv.Rejected != 0 {
+		t.Fatalf("server received=%d rejected=%d", srv.Received, srv.Rejected)
+	}
+	if ofcs.Records() != 10 {
+		t.Fatalf("OFCS has %d records", ofcs.Records())
+	}
+	u, ok := ofcs.UsageFor("00 01 11 32 54 76 48 F5")
+	if !ok || u.UL != 1000 {
+		t.Fatalf("usage = %+v, %v", u, ok)
+	}
+	if cli.Sent != 10 || cli.Acked != 10 {
+		t.Fatalf("client sent=%d acked=%d", cli.Sent, cli.Acked)
+	}
+}
+
+func TestRfOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ofcs := NewOFCS()
+	srv := &RfServer{OFCS: ofcs}
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		done <- srv.Serve(conn)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewRfClient(conn)
+	if err := cli.Send(sampleCDR(0, 274841)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ofcs.TotalVolume() != 274841 {
+		t.Fatalf("volume = %d", ofcs.TotalVolume())
+	}
+}
+
+// rawConn lets a test speak the wire format directly.
+func TestRfServerRejectsMalformedRecord(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	ofcs := NewOFCS()
+	srv := &RfServer{OFCS: ofcs}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(srvConn) }()
+
+	if err := writeRfFrame(cliConn, rfTypeACR, 1, 0, []byte("not xml")); err != nil {
+		t.Fatal(err)
+	}
+	typ, seq, result, _, err := readRfFrame(cliConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != rfTypeACA || seq != 1 || result != RfResultMalformed {
+		t.Fatalf("answer = type %d seq %d result %d", typ, seq, result)
+	}
+	cliConn.Close()
+	srvConn.Close()
+	<-done
+	if srv.Rejected != 1 || ofcs.Records() != 0 {
+		t.Fatalf("rejected=%d records=%d", srv.Rejected, ofcs.Records())
+	}
+}
+
+func TestRfServerRejectsUnknownType(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	srv := &RfServer{OFCS: NewOFCS()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(srvConn) }()
+	if err := writeRfFrame(cliConn, 99, 7, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, result, _, err := readRfFrame(cliConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != rfTypeACA || result != RfResultUnsupported {
+		t.Fatalf("answer = type %d result %d", typ, result)
+	}
+	cliConn.Close()
+	srvConn.Close()
+	<-done
+}
+
+func TestRfClientSurfacesRejection(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	// A fake server that rejects everything.
+	go func() {
+		for {
+			typ, seq, _, _, err := readRfFrame(srvConn)
+			if err != nil {
+				return
+			}
+			_ = typ
+			writeRfFrame(srvConn, rfTypeACA, seq, RfResultMalformed, nil)
+		}
+	}()
+	cli := NewRfClient(cliConn)
+	err := cli.Send(sampleCDR(0, 1))
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("err = %v", err)
+	}
+	if cli.Acked != 0 {
+		t.Fatal("rejected record counted as acked")
+	}
+	cliConn.Close()
+	srvConn.Close()
+}
+
+func TestRfFrameBounds(t *testing.T) {
+	cliConn, srvConn := net.Pipe()
+	defer cliConn.Close()
+	defer srvConn.Close()
+	go func() { _, _, _, _, _ = readRfFrame(srvConn) }()
+	if err := writeRfFrame(cliConn, rfTypeACR, 0, 0, make([]byte, maxRfFrame+1)); err == nil {
+		t.Fatal("oversized frame written")
+	}
+}

@@ -1,0 +1,377 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"tlc/internal/apps"
+	"tlc/internal/netem"
+	"tlc/internal/stats"
+)
+
+// Options scales an experiment sweep. The zero value gives the full
+// configuration used by cmd/tlcbench; Quick() gives a configuration
+// small enough for unit tests.
+type Options struct {
+	// Duration is the charging cycle length per run.
+	Duration time.Duration
+	// Seeds is the number of repetitions per grid point.
+	Seeds int
+	// BGLevels are the background-traffic sweep points in Mbps.
+	BGLevels []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 60 * time.Second
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 3
+	}
+	if len(o.BGLevels) == 0 {
+		o.BGLevels = []float64{0, 100, 120, 140, 160}
+	}
+	return o
+}
+
+// Quick returns options sized for unit tests.
+func Quick() Options {
+	return Options{Duration: 15 * time.Second, Seeds: 1, BGLevels: []float64{0, 160}}
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// fig3Apps are the three workloads of Figure 3 (gaming joins for
+// Figures 12-13 and Table 2).
+var fig3Apps = []apps.Profile{apps.WebCamRTSP, apps.WebCamUDP, apps.VRidgeGVSP}
+
+// legacyGapBytes is the §3.2 charging-gap measurement: the volume the
+// gateway charged minus what the receiving edge endpoint counted.
+func legacyGapBytes(r *CycleResult) float64 {
+	return r.LegacyCharge - r.Truth.Received
+}
+
+// Headline reproduces the paper's §1/§3.2 headline numbers: the
+// per-hour charging gap for the three streaming workloads in good
+// radio, and the stressed variants under congestion and intermittent
+// connectivity.
+func Headline(opt Options) Result {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %14s %14s %14s\n", "workload", "good (MB/hr)", "gap ratio", "stressed (MB/hr)")
+	for i, app := range fig3Apps {
+		good := NewTestbed(Config{App: app, Seed: int64(100 + i), C: 0.5, Duration: opt.Duration}).Run()
+		stressed := NewTestbed(Config{
+			App: app, Seed: int64(200 + i), C: 0.5, Duration: opt.Duration,
+			BackgroundMbps: 160,
+			RSS:            RSSSpec{Base: -90, MeanGap: 20 * time.Second, MeanOutage: 2 * time.Second},
+		}).Run()
+		gGood, gBad := legacyGapBytes(good), legacyGapBytes(stressed)
+		ratio := 0.0
+		if good.XHat > 0 {
+			ratio = gGood / good.XHat
+		}
+		fmt.Fprintf(&b, "%-16s %14.2f %13.1f%% %14.2f\n",
+			app.Name, good.PerHour(gGood), ratio*100, stressed.PerHour(gBad))
+	}
+	return Result{ID: "headline", Title: "§3.2 headline charging gaps (paper: 8.28/59.04/80.64 MB/hr good; 98/252/983 stressed)", Text: b.String()}
+}
+
+// Fig3 reproduces Figure 3: the per-hour charging gap versus
+// background traffic for the three streaming workloads.
+func Fig3(opt Options) Result {
+	opt = opt.withDefaults()
+	series := make([]*stats.Series, len(fig3Apps))
+	for i, app := range fig3Apps {
+		s := &stats.Series{Name: app.Name}
+		for _, bg := range opt.BGLevels {
+			var sum float64
+			for seed := 0; seed < opt.Seeds; seed++ {
+				r := NewTestbed(Config{
+					App: app, Seed: int64(300 + i*31 + seed), C: 0.5,
+					Duration: opt.Duration, BackgroundMbps: bg,
+				}).Run()
+				sum += r.PerHour(legacyGapBytes(r))
+			}
+			s.AddPoint(bg, sum/float64(opt.Seeds))
+		}
+		series[i] = s
+	}
+	return Result{
+		ID:    "fig3",
+		Title: "Figure 3: charging gap (MB/hr) vs background traffic (Mbps)",
+		Text:  stats.Table("bg-Mbps", opt.BGLevels, series...),
+	}
+}
+
+// Fig4 reproduces Figure 4: a time series of edge-received rate,
+// gateway-charged rate, cumulative gap and RSS for a downlink UDP
+// WebCam stream under intermittent connectivity.
+func Fig4(opt Options) Result {
+	opt = opt.withDefaults()
+	dur := 300 * time.Second
+	if opt.Duration < 60*time.Second {
+		dur = 60 * time.Second // quick mode
+	}
+	// The paper's Figure 4 stream is a *downlink* UDP WebCam.
+	app := apps.WebCamUDP.WithDirection(netem.Downlink)
+	tb := NewTestbed(Config{
+		App: app, Seed: 400, C: 0.5, Duration: dur,
+		RSS: RSSSpec{Base: -90, MeanGap: 25 * time.Second, MeanOutage: 1930 * time.Millisecond},
+	})
+	r := tb.Run()
+
+	interval := time.Second
+	n := int(dur / interval)
+	edgeSeries := tb.DevAppRecv.SeriesMB(interval, dur)
+	// The cellular network's view: the gateway meter.
+	gwUL, gwDL := make([]float64, n), make([]float64, n)
+	for i := 0; i < n; i++ {
+		start := time.Duration(i) * interval
+		ul, dl := tb.SPGW.UsageInWindow(imsi, start, start+interval)
+		gwUL[i], gwDL[i] = ul/1e6, dl/1e6
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %10s\n", "t(s)", "edge(Mbps)", "cell(Mbps)", "cum-gap(MB)", "RSS(dBm)")
+	cum := 0.0
+	step := n / 60
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n; i++ {
+		edge := 0.0
+		if i < len(edgeSeries) {
+			edge = edgeSeries[i]
+		}
+		cum += gwDL[i] - edge
+		if i%step == 0 {
+			rss := tb.Radio.Model.RSS(time.Duration(i) * interval)
+			fmt.Fprintf(&b, "%-6d %12.3f %12.3f %12.3f %10.1f\n",
+				i, edge*8, gwDL[i]*8, cum, rss)
+		}
+	}
+	fmt.Fprintf(&b, "total gap %.2f MB over %v (eta=%.1f%%, detach-drops %.2f MB)\n",
+		(r.LegacyCharge-r.Truth.Received)/1e6, dur, r.Eta*100, float64(r.DetachedDrops)/1e6)
+	return Result{ID: "fig4", Title: "Figure 4: intermittent connectivity time series (paper: 10.6MB gap / 300s)", Text: b.String()}
+}
+
+// Dataset reproduces Figure 11c: the experimental dataset size.
+func Dataset(opt Options) Result {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %14s %18s\n", "workload", "#CDRs", "charged volume")
+	for i, app := range apps.Workloads {
+		var cdrs int
+		var vol float64
+		for seed := 0; seed < opt.Seeds; seed++ {
+			for _, bg := range opt.BGLevels {
+				r := NewTestbed(Config{
+					App: app, Seed: int64(500 + i*17 + seed), C: 0.5,
+					Duration: opt.Duration, BackgroundMbps: bg,
+				}).Run()
+				cdrs += r.CDRCount
+				vol += r.LegacyCharge
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %14d %15.1f MB\n", app.Name, cdrs, vol/1e6)
+	}
+	return Result{ID: "dataset", Title: "Figure 11c: dataset (paper: 914,565 / 58,903 / 31,448 CDRs)", Text: b.String()}
+}
+
+// sweepCell is one grid point of the standard §7.1 sweep.
+type sweepCell struct {
+	r   *CycleResult
+	res map[string]SchemeResult
+}
+
+// standardSweep runs the §7.1 evaluation grid for one app at a given
+// c: background levels × intermittency × seeds.
+func standardSweep(app apps.Profile, c float64, opt Options, baseSeed int64) []sweepCell {
+	var cells []sweepCell
+	rssSpecs := []RSSSpec{
+		{},           // good radio
+		{Base: -112}, // cell edge: MCS adaptation throttles the UE (paper sweeps RSS to -120dBm)
+		{Base: -90, MeanGap: 20 * time.Second, MeanOutage: 2 * time.Second}, // intermittent
+	}
+	for seed := 0; seed < opt.Seeds; seed++ {
+		for bi, bg := range opt.BGLevels {
+			for ri, rss := range rssSpecs {
+				s := baseSeed + int64(seed*1000+bi*100+ri*7)
+				r := NewTestbed(Config{
+					App: app, Seed: s, C: c,
+					Duration: opt.Duration, BackgroundMbps: bg, RSS: rss,
+				}).Run()
+				cells = append(cells, sweepCell{r: r, res: EvaluateAll(r, s+1)})
+			}
+		}
+	}
+	return cells
+}
+
+// Fig12 reproduces Figure 12: the CDF of the per-hour charging gap
+// Δ = |x − x̂| under the three schemes for each workload (c = 0.5).
+func Fig12(opt Options) Result {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	for i, app := range apps.Workloads {
+		cells := standardSweep(app, 0.5, opt, int64(1200+100*i))
+		fmt.Fprintf(&b, "-- %s --\n", app.Name)
+		for _, scheme := range Schemes {
+			s := stats.NewSample()
+			for _, cell := range cells {
+				s.Add(cell.r.PerHour(cell.res[scheme].Delta))
+			}
+			b.WriteString(stats.RenderCDF(scheme+" gap/hr (MB)", s, 4))
+		}
+	}
+	return Result{ID: "fig12", Title: "Figure 12: charging gap CDFs per scheme (c=0.5)", Text: b.String()}
+}
+
+// Table2 reproduces Table 2: average bitrate, absolute gap Δ and
+// relative gap ε per workload per scheme (c = 0.5).
+func Table2(opt Options) Result {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s | %12s %7s | %12s %7s | %12s %7s\n",
+		"workload", "Mbps", "legacy Δ/hr", "ε", "optimal Δ/hr", "ε", "random Δ/hr", "ε")
+	for i, app := range apps.Workloads {
+		cells := standardSweep(app, 0.5, opt, int64(2200+100*i))
+		var bitrate float64
+		deltas := map[string]*stats.Sample{}
+		epsilons := map[string]*stats.Sample{}
+		for _, scheme := range Schemes {
+			deltas[scheme] = stats.NewSample()
+			epsilons[scheme] = stats.NewSample()
+		}
+		for _, cell := range cells {
+			bitrate += cell.r.Truth.Sent * 8 / cell.r.Cfg.Duration.Seconds() / 1e6
+			for _, scheme := range Schemes {
+				deltas[scheme].Add(cell.r.PerHour(cell.res[scheme].Delta))
+				epsilons[scheme].Add(cell.res[scheme].Epsilon)
+			}
+		}
+		bitrate /= float64(len(cells))
+		fmt.Fprintf(&b, "%-16s %10.2f | %12.2f %6.1f%% | %12.2f %6.1f%% | %12.2f %6.1f%%\n",
+			app.Name, bitrate,
+			deltas[SchemeLegacy].Mean(), epsilons[SchemeLegacy].Mean()*100,
+			deltas[SchemeOptimal].Mean(), epsilons[SchemeOptimal].Mean()*100,
+			deltas[SchemeRandom].Mean(), epsilons[SchemeRandom].Mean()*100)
+	}
+	b.WriteString("(paper: legacy ε 17.0/8.1/21.9/3.2% vs optimal 2.2/2.0/1.8/1.6%)\n")
+	return Result{ID: "table2", Title: "Table 2: average charging gap (c=0.5)", Text: b.String()}
+}
+
+// Fig13 reproduces Figure 13: the relative gap ratio ε versus
+// background traffic per scheme for each workload.
+func Fig13(opt Options) Result {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	for i, app := range apps.Workloads {
+		fmt.Fprintf(&b, "-- %s --\n", app.Name)
+		series := make([]*stats.Series, len(Schemes))
+		for si, scheme := range Schemes {
+			series[si] = &stats.Series{Name: scheme}
+		}
+		for _, bg := range opt.BGLevels {
+			sums := map[string]float64{}
+			for seed := 0; seed < opt.Seeds; seed++ {
+				s := int64(3300 + 100*i + seed)
+				r := NewTestbed(Config{
+					App: app, Seed: s, C: 0.5,
+					Duration: opt.Duration, BackgroundMbps: bg,
+				}).Run()
+				for _, scheme := range Schemes {
+					sums[scheme] += Evaluate(r, scheme, s+1).Epsilon
+				}
+			}
+			for si, scheme := range Schemes {
+				series[si].AddPoint(bg, sums[scheme]/float64(opt.Seeds)*100)
+			}
+		}
+		b.WriteString(stats.Table("bg-Mbps", opt.BGLevels, series...))
+	}
+	return Result{ID: "fig13", Title: "Figure 13: gap ratio (%) vs background traffic", Text: b.String()}
+}
+
+// Fig14 reproduces Figure 14: the gap ratio versus the intermittent
+// disconnectivity ratio η for the UDP WebCam stream.
+func Fig14(opt Options) Result {
+	opt = opt.withDefaults()
+	// Mean outage 1.93s (the paper's measured average); vary the
+	// inter-outage gap to sweep η from ~5% to ~15%.
+	gaps := []time.Duration{36 * time.Second, 22 * time.Second, 16 * time.Second,
+		13 * time.Second, 11 * time.Second}
+	series := make([]*stats.Series, len(Schemes))
+	for si, scheme := range Schemes {
+		series[si] = &stats.Series{Name: scheme}
+	}
+	// Figure 4/14 use the downlink UDP WebCam: outage loss lands
+	// after the gateway meter, so the legacy gap grows with η.
+	app := apps.WebCamUDP.WithDirection(netem.Downlink)
+	type row struct {
+		eta  float64
+		vals map[string]float64
+	}
+	var rows []row
+	// Intermittency realisations are noisy; run extra repetitions.
+	reps := opt.Seeds * 6
+	for gi, gap := range gaps {
+		sums := map[string]float64{}
+		var etaSum float64
+		for seed := 0; seed < reps; seed++ {
+			s := int64(4400 + 10*gi + seed)
+			r := NewTestbed(Config{
+				App: app, Seed: s, C: 0.5, Duration: opt.Duration,
+				RSS: RSSSpec{Base: -90, MeanGap: gap, MeanOutage: 1930 * time.Millisecond},
+			}).Run()
+			etaSum += r.Eta
+			for _, scheme := range Schemes {
+				sums[scheme] += Evaluate(r, scheme, s+1).Epsilon
+			}
+		}
+		rw := row{eta: etaSum / float64(reps) * 100, vals: map[string]float64{}}
+		for _, scheme := range Schemes {
+			rw.vals[scheme] = sums[scheme] / float64(reps) * 100
+		}
+		rows = append(rows, rw)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].eta < rows[j].eta })
+	var etas []float64
+	for _, rw := range rows {
+		etas = append(etas, rw.eta)
+		for si, scheme := range Schemes {
+			series[si].AddPoint(rw.eta, rw.vals[scheme])
+		}
+	}
+	return Result{
+		ID:    "fig14",
+		Title: "Figure 14: gap ratio (%) vs intermittent disconnectivity ratio η (%)",
+		Text:  stats.Table("eta-%", etas, series...),
+	}
+}
+
+// Fig15 reproduces Figure 15: the CDF of TLC-optimal's gap reduction
+// µ = (x_legacy − x_TLC)/x_legacy for c in {0, 0.25, 0.5, 0.75, 1}.
+func Fig15(opt Options) Result {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	for _, c := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		sample := stats.NewSample()
+		cells := standardSweep(apps.VRidgeGVSP, c, opt, int64(5500+int(c*100)))
+		for _, cell := range cells {
+			leg := cell.res[SchemeLegacy]
+			tlc := cell.res[SchemeOptimal]
+			sample.Add(GapReduction(leg.X, tlc.X) * 100)
+		}
+		b.WriteString(stats.RenderCDF(fmt.Sprintf("c=%.2f  µ (%%)", c), sample, 4))
+	}
+	b.WriteString("(paper: smaller c ⇒ larger reduction; c=1 ⇒ TLC equals honest legacy)\n")
+	return Result{ID: "fig15", Title: "Figure 15: TLC-optimal gap reduction under various plans c", Text: b.String()}
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"math"
+
+	"tlc/internal/core"
+	"tlc/internal/sim"
+)
+
+// Scheme names used across the experiments, matching §7.1.
+const (
+	SchemeLegacy  = "legacy"      // honest legacy 4G/5G: the gateway CDR is the bill
+	SchemeOptimal = "tlc-optimal" // TLC with rational minimax parties
+	SchemeRandom  = "tlc-random"  // TLC with selfish-but-naive parties
+	SchemeHonest  = "tlc-honest"  // TLC with honest parties
+)
+
+// Schemes lists the three compared schemes in presentation order.
+var Schemes = []string{SchemeLegacy, SchemeRandom, SchemeOptimal}
+
+// SchemeResult is one charging scheme applied to one cycle.
+type SchemeResult struct {
+	Scheme    string
+	X         float64 // billed volume (bytes)
+	Rounds    int
+	Converged bool
+	Delta     float64 // Δ = |x − x̂|
+	Epsilon   float64 // ε = Δ / x̂
+}
+
+func newSchemeResult(name string, x, xhat float64, rounds int, converged bool) SchemeResult {
+	r := SchemeResult{Scheme: name, X: x, Rounds: rounds, Converged: converged}
+	r.Delta = math.Abs(x - xhat)
+	if xhat > 0 {
+		r.Epsilon = r.Delta / xhat
+	}
+	return r
+}
+
+// Evaluate applies a charging scheme to a finished cycle. The same
+// cycle (same traffic, same records) feeds every scheme, exactly as
+// the paper replays its recorded usage under each scheme.
+func Evaluate(r *CycleResult, scheme string, seed int64) SchemeResult {
+	switch scheme {
+	case SchemeLegacy:
+		return newSchemeResult(SchemeLegacy, r.LegacyCharge, r.XHat, 0, true)
+	case SchemeOptimal:
+		return runTLC(r, core.OptimalStrategy{}, core.OptimalStrategy{}, SchemeOptimal, seed)
+	case SchemeRandom:
+		return runTLC(r, core.RandomSelfishStrategy{}, core.RandomSelfishStrategy{}, SchemeRandom, seed)
+	case SchemeHonest:
+		return runTLC(r, core.HonestStrategy{}, core.HonestStrategy{}, SchemeHonest, seed)
+	default:
+		panic("experiment: unknown scheme " + scheme)
+	}
+}
+
+// EvaluateAll runs the standard scheme comparison on a cycle.
+func EvaluateAll(r *CycleResult, seed int64) map[string]SchemeResult {
+	out := make(map[string]SchemeResult, len(Schemes))
+	for _, s := range Schemes {
+		out[s] = Evaluate(r, s, seed)
+	}
+	return out
+}
+
+func runTLC(r *CycleResult, edge, op core.Strategy, name string, seed int64) SchemeResult {
+	out, err := core.Negotiate(core.Config{
+		C:        r.Cfg.C,
+		Edge:     edge,
+		Operator: op,
+		EdgeView: core.View{Sent: r.EdgeView.Sent, Received: r.EdgeView.Received},
+		OperatorView: core.View{
+			Sent: r.OpView.Sent, Received: r.OpView.Received,
+		},
+		RNG:       sim.NewRNG(seed),
+		MaxRounds: 256,
+	})
+	if err != nil || !out.Converged {
+		return newSchemeResult(name, 0, r.XHat, out.Rounds, false)
+	}
+	return newSchemeResult(name, out.X, r.XHat, out.Rounds, true)
+}
+
+// GapReduction computes the paper's Figure 15 metric µ =
+// (x_legacy − x_TLC) / x_legacy.
+func GapReduction(legacy, tlc float64) float64 {
+	if legacy <= 0 {
+		return 0
+	}
+	return (legacy - tlc) / legacy
+}

@@ -1,0 +1,121 @@
+// Package keyio loads and stores the RSA keys of §5.3.1 in standard
+// PEM containers (PKCS#8 private keys, PKIX public keys), so the edge
+// vendor, operator and public verifiers can exchange key material as
+// ordinary files.
+package keyio
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"os"
+)
+
+const (
+	publicBlockType  = "PUBLIC KEY"
+	privateBlockType = "PRIVATE KEY"
+)
+
+// MarshalPublicKey renders a public key as PKIX PEM.
+func MarshalPublicKey(pub *rsa.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: marshal public key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: publicBlockType, Bytes: der}), nil
+}
+
+// ParsePublicKey decodes a PKIX PEM public key.
+func ParsePublicKey(data []byte) (*rsa.PublicKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil {
+		return nil, errors.New("keyio: no PEM block")
+	}
+	if block.Type != publicBlockType {
+		return nil, fmt.Errorf("keyio: unexpected PEM type %q", block.Type)
+	}
+	pub, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: parse public key: %w", err)
+	}
+	rsaPub, ok := pub.(*rsa.PublicKey)
+	if !ok {
+		return nil, errors.New("keyio: not an RSA public key")
+	}
+	return rsaPub, nil
+}
+
+// MarshalPrivateKey renders a private key as PKCS#8 PEM.
+func MarshalPrivateKey(priv *rsa.PrivateKey) ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(priv)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: marshal private key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: privateBlockType, Bytes: der}), nil
+}
+
+// ParsePrivateKey decodes a PKCS#8 PEM private key.
+func ParsePrivateKey(data []byte) (*rsa.PrivateKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil {
+		return nil, errors.New("keyio: no PEM block")
+	}
+	if block.Type != privateBlockType {
+		return nil, fmt.Errorf("keyio: unexpected PEM type %q", block.Type)
+	}
+	priv, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: parse private key: %w", err)
+	}
+	rsaPriv, ok := priv.(*rsa.PrivateKey)
+	if !ok {
+		return nil, errors.New("keyio: not an RSA private key")
+	}
+	return rsaPriv, nil
+}
+
+// SavePublicKey writes a PKIX PEM file (0644: public material).
+func SavePublicKey(path string, pub *rsa.PublicKey) error {
+	data, err := MarshalPublicKey(pub)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadPublicKey reads a PKIX PEM file.
+func LoadPublicKey(path string) (*rsa.PublicKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: %w", err)
+	}
+	pub, err := ParsePublicKey(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pub, nil
+}
+
+// SavePrivateKey writes a PKCS#8 PEM file (0600: secret material).
+func SavePrivateKey(path string, priv *rsa.PrivateKey) error {
+	data, err := MarshalPrivateKey(priv)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+// LoadPrivateKey reads a PKCS#8 PEM file.
+func LoadPrivateKey(path string) (*rsa.PrivateKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("keyio: %w", err)
+	}
+	priv, err := ParsePrivateKey(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return priv, nil
+}

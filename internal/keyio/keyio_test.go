@@ -1,0 +1,110 @@
+package keyio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tlc/internal/poc"
+	"tlc/internal/sim"
+)
+
+func testPair(t *testing.T) *poc.KeyPair {
+	t.Helper()
+	kp, err := poc.GenerateKeyPair(poc.DefaultKeyBits, sim.NewRNG(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func TestPublicKeyRoundTrip(t *testing.T) {
+	kp := testPair(t)
+	data, err := MarshalPublicKey(kp.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePublicKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N.Cmp(kp.Public.N) != 0 || back.E != kp.Public.E {
+		t.Fatal("public key round trip mismatch")
+	}
+}
+
+func TestPrivateKeyRoundTrip(t *testing.T) {
+	kp := testPair(t)
+	data, err := MarshalPrivateKey(kp.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePrivateKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.D.Cmp(kp.Private.D) != 0 {
+		t.Fatal("private key round trip mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParsePublicKey([]byte("not pem")); err == nil {
+		t.Fatal("garbage public accepted")
+	}
+	if _, err := ParsePrivateKey([]byte("not pem")); err == nil {
+		t.Fatal("garbage private accepted")
+	}
+	// Wrong block type: a private PEM fed to the public parser.
+	kp := testPair(t)
+	priv, _ := MarshalPrivateKey(kp.Private)
+	if _, err := ParsePublicKey(priv); err == nil {
+		t.Fatal("private PEM accepted as public")
+	}
+	pub, _ := MarshalPublicKey(kp.Public)
+	if _, err := ParsePrivateKey(pub); err == nil {
+		t.Fatal("public PEM accepted as private")
+	}
+}
+
+func TestFileRoundTripAndPermissions(t *testing.T) {
+	kp := testPair(t)
+	dir := t.TempDir()
+	pubPath := filepath.Join(dir, "k.pub")
+	privPath := filepath.Join(dir, "k.key")
+
+	if err := SavePublicKey(pubPath, kp.Public); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePrivateKey(privPath, kp.Private); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := LoadPublicKey(pubPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.N.Cmp(kp.Public.N) != 0 {
+		t.Fatal("loaded public key differs")
+	}
+	priv, err := LoadPrivateKey(privPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.D.Cmp(kp.Private.D) != 0 {
+		t.Fatal("loaded private key differs")
+	}
+	// Secret material is not world readable.
+	info, err := os.Stat(privPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm()&0o077 != 0 {
+		t.Fatalf("private key file mode %v too permissive", info.Mode())
+	}
+	if _, err := LoadPublicKey(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := LoadPrivateKey(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing private file accepted")
+	}
+}

@@ -1,0 +1,358 @@
+// Package netem emulates the packet-level network substrate: links
+// with finite rate, propagation delay and drop-tail queues, QCI-based
+// priority scheduling, configurable loss models, byte meters, and
+// background (cross) traffic sources.
+//
+// The emulated LTE core (internal/epc) and radio access network
+// (internal/ran) are assembled from these parts. Where a packet is
+// dropped relative to the operator's metering point is what creates
+// the charging gap the paper studies, so the topology builders are
+// careful about drop placement (see DESIGN.md).
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"tlc/internal/sim"
+)
+
+// Direction of a packet relative to the edge device.
+type Direction int
+
+const (
+	// Uplink flows from the edge device toward the edge server.
+	Uplink Direction = iota
+	// Downlink flows from the edge server toward the edge device.
+	Downlink
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Uplink:
+		return "UL"
+	case Downlink:
+		return "DL"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Packet is one network datagram moving through the emulation. Sizes
+// are in bytes and include protocol headers; the simulator does not
+// carry payload bytes.
+type Packet struct {
+	ID         uint64
+	Flow       string    // application flow identifier
+	IMSI       string    // subscriber the packet belongs to
+	QCI        uint8     // LTE QoS class identifier (1 = highest priority)
+	Size       int       // bytes on the wire
+	Dir        Direction // uplink or downlink
+	Sent       sim.Time  // time the application emitted the packet
+	Background bool      // cross traffic, never charged to the edge app
+
+	// Tunneled and TEID are set while the packet rides a GTP-U
+	// tunnel between the base station and the gateway.
+	Tunneled bool
+	TEID     uint32
+
+	// Seq is the transport-layer sequence number for reliable flows
+	// (internal/transport); zero for datagram traffic.
+	Seq uint64
+}
+
+// Node consumes packets. Links, gateways, base stations, devices and
+// meters all implement Node.
+type Node interface {
+	Recv(pkt *Packet)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(*Packet)
+
+// Recv implements Node.
+func (f NodeFunc) Recv(pkt *Packet) { f(pkt) }
+
+// Sink is a Node that counts and discards everything it receives.
+type Sink struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// Recv implements Node.
+func (s *Sink) Recv(pkt *Packet) {
+	s.Packets++
+	s.Bytes += uint64(pkt.Size)
+}
+
+// IDGen allocates packet IDs unique within one simulation.
+type IDGen struct{ next uint64 }
+
+// Next returns the next packet ID.
+func (g *IDGen) Next() uint64 {
+	g.next++
+	return g.next
+}
+
+// LossModel decides whether a packet is lost in transit on a link.
+type LossModel interface {
+	Drop(pkt *Packet, now sim.Time) bool
+}
+
+// NoLoss never drops.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(*Packet, sim.Time) bool { return false }
+
+// BernoulliLoss drops each packet independently with probability P.
+type BernoulliLoss struct {
+	P   float64
+	RNG *sim.RNG
+}
+
+// Drop implements LossModel.
+func (b *BernoulliLoss) Drop(_ *Packet, _ sim.Time) bool {
+	if b.P <= 0 {
+		return false
+	}
+	if b.P >= 1 {
+		return true
+	}
+	return b.RNG.Float64() < b.P
+}
+
+// LossFunc adapts a function to the LossModel interface; the radio
+// layer uses it to drive loss from the instantaneous RSS.
+type LossFunc func(pkt *Packet, now sim.Time) bool
+
+// Drop implements LossModel.
+func (f LossFunc) Drop(pkt *Packet, now sim.Time) bool { return f(pkt, now) }
+
+// LinkStats counts what happened on a link.
+type LinkStats struct {
+	InPackets    uint64
+	InBytes      uint64
+	OutPackets   uint64
+	OutBytes     uint64
+	QueueDrops   uint64
+	QueueDropped uint64 // bytes
+	LossDrops    uint64
+	LossDropped  uint64 // bytes
+}
+
+// Link is a simplex link with a finite transmission rate, a priority
+// drop-tail queue, fixed propagation delay and an optional loss model
+// applied after transmission (i.e. "on the wire"). A zero RateBps
+// means infinite rate (no queueing). The queue serves strictly by QCI
+// priority (lower QCI first) and FIFO within a class, matching LTE's
+// scheduling-based primitives that the paper credits for the
+// low-latency edge (§2.1).
+type Link struct {
+	Name       string
+	Sched      *sim.Scheduler
+	RateBps    float64
+	Delay      time.Duration
+	QueueBytes int // queue capacity in bytes; 0 = unlimited
+	Loss       LossModel
+	Dst        Node
+
+	// Gate optionally pauses the server: while Gate returns false the
+	// link buffers packets instead of transmitting (the RAN uses this
+	// to model base-station buffering across short radio outages).
+	Gate func(now sim.Time) bool
+
+	// RateScale optionally scales the transmission rate at each
+	// serving instant; the RAN uses it to model MCS adaptation (weak
+	// signal lowers the achievable rate rather than dropping IP
+	// packets — HARQ recovers those). Values are clamped to a small
+	// positive floor.
+	RateScale func(now sim.Time) float64
+
+	Stats LinkStats
+
+	queue        []*Packet
+	queuedBytes  int
+	transmitting bool
+}
+
+// NewLink returns a ready link. Loss defaults to NoLoss.
+func NewLink(name string, sched *sim.Scheduler, rateBps float64, delay time.Duration, queueBytes int, dst Node) *Link {
+	return &Link{
+		Name:       name,
+		Sched:      sched,
+		RateBps:    rateBps,
+		Delay:      delay,
+		QueueBytes: queueBytes,
+		Loss:       NoLoss{},
+		Dst:        dst,
+	}
+}
+
+// QueueLen returns the number of queued packets (excluding the packet
+// currently in transmission).
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// QueuedBytes returns the number of queued bytes.
+func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// Recv implements Node: the link accepts the packet for transmission.
+func (l *Link) Recv(pkt *Packet) {
+	l.Stats.InPackets++
+	l.Stats.InBytes += uint64(pkt.Size)
+
+	if l.RateBps <= 0 && l.Gate == nil {
+		// Infinite-rate ungated link: pure delay + loss.
+		l.propagate(pkt)
+		return
+	}
+
+	if l.QueueBytes > 0 && l.queuedBytes+pkt.Size > l.QueueBytes {
+		if !l.evictLowerPriority(pkt) {
+			l.Stats.QueueDrops++
+			l.Stats.QueueDropped += uint64(pkt.Size)
+			return
+		}
+	}
+	l.enqueue(pkt)
+	l.kick()
+}
+
+// evictLowerPriority makes room for pkt by dropping strictly lower
+// priority queued packets (higher QCI value) from the back of the
+// queue. It reports whether enough room was freed.
+func (l *Link) evictLowerPriority(pkt *Packet) bool {
+	need := l.queuedBytes + pkt.Size - l.QueueBytes
+	if need <= 0 {
+		return true
+	}
+	// Scan from the back (lowest priority sits last due to priority
+	// insertion) marking evictable packets.
+	freed := 0
+	drop := make(map[int]bool, 2)
+	for i := len(l.queue) - 1; i >= 0 && freed < need; i-- {
+		if l.queue[i].QCI > pkt.QCI {
+			freed += l.queue[i].Size
+			drop[i] = true
+		}
+	}
+	if freed < need {
+		return false
+	}
+	keep := make([]*Packet, 0, len(l.queue)-len(drop))
+	for i, q := range l.queue {
+		if drop[i] {
+			l.queuedBytes -= q.Size
+			l.Stats.QueueDrops++
+			l.Stats.QueueDropped += uint64(q.Size)
+			continue
+		}
+		keep = append(keep, q)
+	}
+	l.queue = keep
+	return true
+}
+
+// enqueue inserts by QCI priority (stable within a class).
+func (l *Link) enqueue(pkt *Packet) {
+	i := len(l.queue)
+	for i > 0 && l.queue[i-1].QCI > pkt.QCI {
+		i--
+	}
+	l.queue = append(l.queue, nil)
+	copy(l.queue[i+1:], l.queue[i:])
+	l.queue[i] = pkt
+	l.queuedBytes += pkt.Size
+}
+
+// kick starts the transmitter if idle.
+func (l *Link) kick() {
+	if l.transmitting || len(l.queue) == 0 {
+		return
+	}
+	if l.Gate != nil && !l.Gate(l.Sched.Now()) {
+		// Gated closed: retry shortly. The RAN re-kicks links on
+		// radio state changes, but polling keeps the model safe even
+		// if it forgets.
+		l.transmitting = true
+		l.Sched.After(10*time.Millisecond, func() {
+			l.transmitting = false
+			l.kick()
+		})
+		return
+	}
+	pkt := l.queue[0]
+	l.queue = l.queue[1:]
+	l.queuedBytes -= pkt.Size
+	l.transmitting = true
+	tx := time.Duration(0)
+	if l.RateBps > 0 {
+		rate := l.RateBps
+		if l.RateScale != nil {
+			scale := l.RateScale(l.Sched.Now())
+			if scale < 0.01 {
+				scale = 0.01
+			}
+			rate *= scale
+		}
+		tx = time.Duration(float64(pkt.Size*8) / rate * float64(time.Second))
+	}
+	l.Sched.After(tx, func() {
+		l.transmitting = false
+		l.propagate(pkt)
+		l.kick()
+	})
+}
+
+// propagate applies the loss model and delivers after Delay.
+func (l *Link) propagate(pkt *Packet) {
+	if l.Loss != nil && l.Loss.Drop(pkt, l.Sched.Now()) {
+		l.Stats.LossDrops++
+		l.Stats.LossDropped += uint64(pkt.Size)
+		return
+	}
+	deliver := func() {
+		l.Stats.OutPackets++
+		l.Stats.OutBytes += uint64(pkt.Size)
+		if l.Dst != nil {
+			l.Dst.Recv(pkt)
+		}
+	}
+	if l.Delay > 0 {
+		l.Sched.After(l.Delay, deliver)
+	} else {
+		deliver()
+	}
+}
+
+// Kick re-evaluates the transmitter; the RAN calls it when a gate
+// opens so buffered packets flush immediately.
+func (l *Link) Kick() { l.kick() }
+
+// DropQueuedFraction discards the given fraction of queued bytes from
+// the back of the queue (newest first), counting them as queue drops.
+// The RAN's handover model uses it for source-cell buffer loss.
+func (l *Link) DropQueuedFraction(frac float64) (packets, bytes uint64) {
+	if frac <= 0 || len(l.queue) == 0 {
+		return 0, 0
+	}
+	target := int(float64(l.queuedBytes) * frac)
+	dropped := 0
+	i := len(l.queue)
+	for i > 0 && dropped < target {
+		i--
+		q := l.queue[i]
+		dropped += q.Size
+		packets++
+		bytes += uint64(q.Size)
+		l.Stats.QueueDrops++
+		l.Stats.QueueDropped += uint64(q.Size)
+	}
+	for j := i; j < len(l.queue); j++ {
+		l.queue[j] = nil
+	}
+	l.queue = l.queue[:i]
+	l.queuedBytes -= dropped
+	return packets, bytes
+}

@@ -1,0 +1,532 @@
+// Package poc implements TLC's publicly verifiable Proof-of-Charging
+// (§5.3): the signed CDR/CDA/PoC message types, their deterministic
+// binary encoding, the RSA key setup of §5.3.1, and the Algorithm 2
+// public verification with nonce/sequence replay defence.
+//
+// The paper's prototype uses java.security RSA-1024; this package
+// uses Go's crypto/rsa with the same default key size (configurable —
+// see the key-size ablation bench).
+package poc
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// DefaultKeyBits matches the paper's RSA-1024 prototype.
+const DefaultKeyBits = 1024
+
+// KeyPair is one party's signing keys (K+, K-) from §5.3.1.
+type KeyPair struct {
+	Private *rsa.PrivateKey
+	Public  *rsa.PublicKey
+}
+
+// GenerateKeyPair creates a key pair. Pass nil for cryptographically
+// secure randomness; tests and the deterministic simulator pass a
+// seeded reader.
+func GenerateKeyPair(bits int, random io.Reader) (*KeyPair, error) {
+	if bits == 0 {
+		bits = DefaultKeyBits
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	priv, err := rsa.GenerateKey(random, bits)
+	if err != nil {
+		return nil, fmt.Errorf("poc: generate key: %w", err)
+	}
+	return &KeyPair{Private: priv, Public: &priv.PublicKey}, nil
+}
+
+// Role identifies the signer of a message.
+type Role uint8
+
+const (
+	// RoleEdge is the edge application vendor.
+	RoleEdge Role = 1
+	// RoleOperator is the cellular operator.
+	RoleOperator Role = 2
+)
+
+// Other returns the opposite role.
+func (r Role) Other() Role {
+	if r == RoleEdge {
+		return RoleOperator
+	}
+	return RoleEdge
+}
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleEdge:
+		return "edge"
+	case RoleOperator:
+		return "operator"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Plan is the public data-plan fragment bound into every message: the
+// charging cycle T = (Tstart, Tend) in nanoseconds of simulated (or
+// unix) time, and the lost-data weight c.
+type Plan struct {
+	TStart int64
+	TEnd   int64
+	C      float64
+}
+
+// Equal compares plans with exact cycle match and a small float
+// tolerance on c.
+func (p Plan) Equal(q Plan) bool {
+	return p.TStart == q.TStart && p.TEnd == q.TEnd && math.Abs(p.C-q.C) < 1e-9
+}
+
+// NonceSize is the nonce length in bytes.
+const NonceSize = 16
+
+// Nonce is a random per-message value defending against replay.
+type Nonce [NonceSize]byte
+
+// NewNonce draws a nonce from the reader (crypto/rand by default).
+func NewNonce(random io.Reader) (Nonce, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	var n Nonce
+	if _, err := io.ReadFull(random, n[:]); err != nil {
+		return Nonce{}, fmt.Errorf("poc: nonce: %w", err)
+	}
+	return n, nil
+}
+
+// Message kinds on the wire.
+const (
+	kindCDR byte = 1
+	kindCDA byte = 2
+	kindPoC byte = 3
+)
+
+// CDR is a signed charging data record: one party's usage claim for
+// the cycle (§5.3.2). Compared with a plain 4G/5G CDR it carries the
+// plan, a sequence number, a nonce, and the signer's signature.
+type CDR struct {
+	Plan      Plan
+	Role      Role
+	Seq       uint32
+	Nonce     Nonce
+	Volume    uint64 // claimed bytes
+	Signature []byte
+}
+
+// CDA is a charging data acceptance: the sender accepts the peer's
+// CDR, copies it, and signs both together with its own claim.
+type CDA struct {
+	Plan      Plan
+	Role      Role
+	Seq       uint32
+	Nonce     Nonce
+	Volume    uint64
+	Peer      CDR // the accepted claim, signature included
+	Signature []byte
+}
+
+// PoC is the proof of charging: the negotiated volume and the full
+// CDA chain, signed by the finishing party. It therefore carries both
+// parties' signatures and is unforgeable and undeniable.
+type PoC struct {
+	Plan      Plan
+	Role      Role // the finishing signer
+	Seq       uint32
+	X         uint64 // negotiated charging volume (bytes)
+	CDA       CDA
+	NonceE    Nonce // ne, appended per §5.3.2's "…‖ne‖no"
+	NonceO    Nonce
+	Signature []byte
+}
+
+func putPlan(b *bytes.Buffer, p Plan) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(p.TStart))
+	b.Write(tmp[:])
+	binary.BigEndian.PutUint64(tmp[:], uint64(p.TEnd))
+	b.Write(tmp[:])
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(p.C))
+	b.Write(tmp[:])
+}
+
+func getPlan(r *bytes.Reader) (Plan, error) {
+	var tmp [24]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return Plan{}, err
+	}
+	return Plan{
+		TStart: int64(binary.BigEndian.Uint64(tmp[0:8])),
+		TEnd:   int64(binary.BigEndian.Uint64(tmp[8:16])),
+		C:      math.Float64frombits(binary.BigEndian.Uint64(tmp[16:24])),
+	}, nil
+}
+
+func putSig(b *bytes.Buffer, sig []byte) {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(sig)))
+	b.Write(l[:])
+	b.Write(sig)
+}
+
+func getSig(r *bytes.Reader) ([]byte, error) {
+	var l [2]byte
+	if _, err := io.ReadFull(r, l[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(l[:])
+	if n > 4096 {
+		return nil, errors.New("poc: unreasonable signature length")
+	}
+	sig := make([]byte, n)
+	if _, err := io.ReadFull(r, sig); err != nil {
+		return nil, err
+	}
+	return sig, nil
+}
+
+// payload serialises the signed portion of a CDR.
+func (c *CDR) payload() []byte {
+	var b bytes.Buffer
+	b.WriteByte(kindCDR)
+	putPlan(&b, c.Plan)
+	b.WriteByte(byte(c.Role))
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], c.Seq)
+	b.Write(tmp[:4])
+	b.Write(c.Nonce[:])
+	binary.BigEndian.PutUint64(tmp[:], c.Volume)
+	b.Write(tmp[:])
+	return b.Bytes()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *CDR) MarshalBinary() ([]byte, error) {
+	var b bytes.Buffer
+	b.Write(c.payload())
+	putSig(&b, c.Signature)
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *CDR) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	if err := c.decode(r); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return errors.New("poc: trailing bytes after CDR")
+	}
+	return nil
+}
+
+func (c *CDR) decode(r *bytes.Reader) error {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if kind != kindCDR {
+		return fmt.Errorf("poc: expected CDR, got kind %d", kind)
+	}
+	if c.Plan, err = getPlan(r); err != nil {
+		return err
+	}
+	role, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	c.Role = Role(role)
+	var tmp [8]byte
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return err
+	}
+	c.Seq = binary.BigEndian.Uint32(tmp[:4])
+	if _, err := io.ReadFull(r, c.Nonce[:]); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return err
+	}
+	c.Volume = binary.BigEndian.Uint64(tmp[:])
+	c.Signature, err = getSig(r)
+	return err
+}
+
+// Sign computes the sender's signature over the record.
+func (c *CDR) Sign(key *rsa.PrivateKey) error {
+	sig, err := signPayload(key, c.payload())
+	if err != nil {
+		return err
+	}
+	c.Signature = sig
+	return nil
+}
+
+// Verify checks the signature against the signer's public key.
+func (c *CDR) Verify(pub *rsa.PublicKey) error {
+	return verifyPayload(pub, c.payload(), c.Signature)
+}
+
+// payload serialises the signed portion of a CDA (which embeds the
+// peer's full CDR, signature included, per §5.3.2).
+func (c *CDA) payload() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte(kindCDA)
+	putPlan(&b, c.Plan)
+	b.WriteByte(byte(c.Role))
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], c.Seq)
+	b.Write(tmp[:4])
+	b.Write(c.Nonce[:])
+	binary.BigEndian.PutUint64(tmp[:], c.Volume)
+	b.Write(tmp[:])
+	peer, err := c.Peer.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(peer)))
+	b.Write(tmp[:4])
+	b.Write(peer)
+	return b.Bytes(), nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *CDA) MarshalBinary() ([]byte, error) {
+	p, err := c.payload()
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	b.Write(p)
+	putSig(&b, c.Signature)
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *CDA) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	if err := c.decode(r); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return errors.New("poc: trailing bytes after CDA")
+	}
+	return nil
+}
+
+func (c *CDA) decode(r *bytes.Reader) error {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if kind != kindCDA {
+		return fmt.Errorf("poc: expected CDA, got kind %d", kind)
+	}
+	if c.Plan, err = getPlan(r); err != nil {
+		return err
+	}
+	role, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	c.Role = Role(role)
+	var tmp [8]byte
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return err
+	}
+	c.Seq = binary.BigEndian.Uint32(tmp[:4])
+	if _, err := io.ReadFull(r, c.Nonce[:]); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return err
+	}
+	c.Volume = binary.BigEndian.Uint64(tmp[:])
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return err
+	}
+	peerLen := binary.BigEndian.Uint32(tmp[:4])
+	if peerLen > 1<<16 {
+		return errors.New("poc: unreasonable embedded CDR length")
+	}
+	peer := make([]byte, peerLen)
+	if _, err := io.ReadFull(r, peer); err != nil {
+		return err
+	}
+	if err := c.Peer.UnmarshalBinary(peer); err != nil {
+		return fmt.Errorf("poc: embedded CDR: %w", err)
+	}
+	c.Signature, err = getSig(r)
+	return err
+}
+
+// Sign computes the sender's signature over the acceptance.
+func (c *CDA) Sign(key *rsa.PrivateKey) error {
+	p, err := c.payload()
+	if err != nil {
+		return err
+	}
+	sig, err := signPayload(key, p)
+	if err != nil {
+		return err
+	}
+	c.Signature = sig
+	return nil
+}
+
+// Verify checks the signature against the signer's public key.
+func (c *CDA) Verify(pub *rsa.PublicKey) error {
+	p, err := c.payload()
+	if err != nil {
+		return err
+	}
+	return verifyPayload(pub, p, c.Signature)
+}
+
+// payload serialises the signed portion of a PoC.
+func (p *PoC) payload() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte(kindPoC)
+	putPlan(&b, p.Plan)
+	b.WriteByte(byte(p.Role))
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], p.Seq)
+	b.Write(tmp[:4])
+	binary.BigEndian.PutUint64(tmp[:], p.X)
+	b.Write(tmp[:])
+	cda, err := p.CDA.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(cda)))
+	b.Write(tmp[:4])
+	b.Write(cda)
+	return b.Bytes(), nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. The two nonces
+// ride outside the signed body, as the paper appends "‖ne‖no".
+func (p *PoC) MarshalBinary() ([]byte, error) {
+	body, err := p.payload()
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	b.Write(body)
+	putSig(&b, p.Signature)
+	b.Write(p.NonceE[:])
+	b.Write(p.NonceO[:])
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *PoC) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	kind, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if kind != kindPoC {
+		return fmt.Errorf("poc: expected PoC, got kind %d", kind)
+	}
+	if p.Plan, err = getPlan(r); err != nil {
+		return err
+	}
+	role, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	p.Role = Role(role)
+	var tmp [8]byte
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return err
+	}
+	p.Seq = binary.BigEndian.Uint32(tmp[:4])
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return err
+	}
+	p.X = binary.BigEndian.Uint64(tmp[:])
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return err
+	}
+	cdaLen := binary.BigEndian.Uint32(tmp[:4])
+	if cdaLen > 1<<18 {
+		return errors.New("poc: unreasonable embedded CDA length")
+	}
+	cda := make([]byte, cdaLen)
+	if _, err := io.ReadFull(r, cda); err != nil {
+		return err
+	}
+	if err := p.CDA.UnmarshalBinary(cda); err != nil {
+		return fmt.Errorf("poc: embedded CDA: %w", err)
+	}
+	if p.Signature, err = getSig(r); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, p.NonceE[:]); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, p.NonceO[:]); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return errors.New("poc: trailing bytes after PoC")
+	}
+	return nil
+}
+
+// Sign computes the finishing party's signature over the proof.
+func (p *PoC) Sign(key *rsa.PrivateKey) error {
+	body, err := p.payload()
+	if err != nil {
+		return err
+	}
+	sig, err := signPayload(key, body)
+	if err != nil {
+		return err
+	}
+	p.Signature = sig
+	return nil
+}
+
+// VerifySignature checks the outer signature against the finishing
+// party's public key. Full Algorithm 2 verification lives in Verifier.
+func (p *PoC) VerifySignature(pub *rsa.PublicKey) error {
+	body, err := p.payload()
+	if err != nil {
+		return err
+	}
+	return verifyPayload(pub, body, p.Signature)
+}
+
+func signPayload(key *rsa.PrivateKey, payload []byte) ([]byte, error) {
+	digest := sha256.Sum256(payload)
+	sig, err := rsa.SignPKCS1v15(nil, key, crypto.SHA256, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("poc: sign: %w", err)
+	}
+	return sig, nil
+}
+
+func verifyPayload(pub *rsa.PublicKey, payload, sig []byte) error {
+	digest := sha256.Sum256(payload)
+	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], sig); err != nil {
+		return fmt.Errorf("poc: bad signature: %w", err)
+	}
+	return nil
+}

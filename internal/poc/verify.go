@@ -1,0 +1,209 @@
+package poc
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"tlc/internal/core"
+)
+
+// Errors returned by Algorithm 2 verification. They are distinct so a
+// court/FCC verifier can report *why* a proof fails.
+var (
+	ErrPlanMismatch     = errors.New("poc: inconsistent data plan")
+	ErrBadSignature     = errors.New("poc: signature verification failed")
+	ErrRoleChain        = errors.New("poc: message role chain inconsistent")
+	ErrNonceMismatch    = errors.New("poc: nonce mismatch")
+	ErrSequenceMismatch = errors.New("poc: sequence numbers differ")
+	ErrVolumeMismatch   = errors.New("poc: negotiated volume inconsistent with claims")
+	ErrReplay           = errors.New("poc: proof already verified (replay)")
+)
+
+// RoundVolume converts a negotiated float volume into the wire's
+// integer byte count; builder and verifier must round identically.
+func RoundVolume(x float64) uint64 {
+	if x <= 0 {
+		return 0
+	}
+	return uint64(math.Round(x))
+}
+
+// BuildCDR assembles and signs a usage claim.
+func BuildCDR(plan Plan, role Role, seq uint32, volume uint64, random io.Reader, key *rsa.PrivateKey) (*CDR, error) {
+	nonce, err := NewNonce(random)
+	if err != nil {
+		return nil, err
+	}
+	c := &CDR{Plan: plan, Role: role, Seq: seq, Nonce: nonce, Volume: volume}
+	if err := c.Sign(key); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// BuildCDA assembles and signs an acceptance of the peer's CDR
+// together with the sender's own claim.
+func BuildCDA(plan Plan, role Role, seq uint32, volume uint64, peer *CDR, random io.Reader, key *rsa.PrivateKey) (*CDA, error) {
+	if peer.Role != role.Other() {
+		return nil, fmt.Errorf("%w: CDA by %v embedding CDR by %v", ErrRoleChain, role, peer.Role)
+	}
+	nonce, err := NewNonce(random)
+	if err != nil {
+		return nil, err
+	}
+	c := &CDA{Plan: plan, Role: role, Seq: seq, Nonce: nonce, Volume: volume, Peer: *peer}
+	if err := c.Sign(key); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// BuildPoC finalises a negotiation: the finishing party accepts the
+// peer's CDA, computes the settled volume with Algorithm 1 line 8,
+// and signs the whole chain.
+func BuildPoC(cda *CDA, key *rsa.PrivateKey) (*PoC, error) {
+	finisher := cda.Role.Other()
+	xe, xo := claimPair(cda)
+	x := RoundVolume(core.Charge(cda.Plan.C, float64(xe), float64(xo)))
+	p := &PoC{
+		Plan: cda.Plan,
+		Role: finisher,
+		Seq:  cda.Seq,
+		X:    x,
+		CDA:  *cda,
+	}
+	p.NonceE, p.NonceO = noncePair(cda)
+	if err := p.Sign(key); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// claimPair extracts (xe, xo) from a CDA chain regardless of which
+// party initiated the negotiation.
+func claimPair(cda *CDA) (xe, xo uint64) {
+	if cda.Role == RoleEdge {
+		return cda.Volume, cda.Peer.Volume
+	}
+	return cda.Peer.Volume, cda.Volume
+}
+
+// noncePair extracts (ne, no) from a CDA chain.
+func noncePair(cda *CDA) (ne, no Nonce) {
+	if cda.Role == RoleEdge {
+		return cda.Nonce, cda.Peer.Nonce
+	}
+	return cda.Peer.Nonce, cda.Nonce
+}
+
+// Verifier performs Algorithm 2 public verification. Any independent
+// third party (FCC, a court, an MVNO — §5.3.4) holding the two public
+// keys and the published plan can run it without auditing the actual
+// data transfer.
+type Verifier struct {
+	EdgeKey     *rsa.PublicKey
+	OperatorKey *rsa.PublicKey
+
+	// seen defends against replays of outdated PoCs across calls.
+	seen map[[32]byte]bool
+}
+
+// NewVerifier returns a verifier for the two parties' public keys.
+func NewVerifier(edge, operator *rsa.PublicKey) *Verifier {
+	return &Verifier{EdgeKey: edge, OperatorKey: operator, seen: make(map[[32]byte]bool)}
+}
+
+func (v *Verifier) keyFor(r Role) (*rsa.PublicKey, error) {
+	switch r {
+	case RoleEdge:
+		return v.EdgeKey, nil
+	case RoleOperator:
+		return v.OperatorKey, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown role %v", ErrRoleChain, r)
+	}
+}
+
+// Verify runs Algorithm 2 against the proof: decrypt/decode, check
+// plan coherence, check nonces and sequence numbers, recompute the
+// negotiated volume, and reject replays. A nil error means the
+// charging is consistent with the negotiation.
+func (v *Verifier) Verify(p *PoC, plan Plan) error {
+	// Lines 2-4: consistent data plan across the chain and with the
+	// published (T, c).
+	if !p.Plan.Equal(plan) || !p.CDA.Plan.Equal(plan) || !p.CDA.Peer.Plan.Equal(plan) {
+		return ErrPlanMismatch
+	}
+
+	// Role chain: the PoC signer accepted a CDA from the other
+	// party, which embedded the signer's original CDR.
+	if p.CDA.Role != p.Role.Other() || p.CDA.Peer.Role != p.Role {
+		return ErrRoleChain
+	}
+
+	// Signatures, outermost in: PoC by the finisher, CDA by the
+	// other party, embedded CDR by the finisher.
+	outerKey, err := v.keyFor(p.Role)
+	if err != nil {
+		return err
+	}
+	innerKey, err := v.keyFor(p.CDA.Role)
+	if err != nil {
+		return err
+	}
+	if err := p.VerifySignature(outerKey); err != nil {
+		return fmt.Errorf("%w (PoC)", ErrBadSignature)
+	}
+	if err := p.CDA.Verify(innerKey); err != nil {
+		return fmt.Errorf("%w (CDA)", ErrBadSignature)
+	}
+	if err := p.CDA.Peer.Verify(outerKey); err != nil {
+		return fmt.Errorf("%w (CDR)", ErrBadSignature)
+	}
+
+	// Line 5: nonce coherence (n′e = PoC.ne, n′o = PoC.no) and
+	// sequence agreement (se = so).
+	ne, no := noncePair(&p.CDA)
+	if ne != p.NonceE || no != p.NonceO {
+		return ErrNonceMismatch
+	}
+	if p.CDA.Seq != p.CDA.Peer.Seq {
+		return ErrSequenceMismatch
+	}
+
+	// Line 8: recompute x′ from the embedded claims.
+	xe, xo := claimPair(&p.CDA)
+	want := RoundVolume(core.Charge(plan.C, float64(xe), float64(xo)))
+	if want != p.X {
+		return ErrVolumeMismatch
+	}
+
+	// Replay defence across verification requests.
+	h := replayKey(p)
+	if v.seen[h] {
+		return ErrReplay
+	}
+	v.seen[h] = true
+	return nil
+}
+
+// VerifyStateless runs Algorithm 2 without the cross-call replay set;
+// it suits bulk re-verification of an archive.
+func VerifyStateless(p *PoC, plan Plan, edge, operator *rsa.PublicKey) error {
+	v := &Verifier{EdgeKey: edge, OperatorKey: operator, seen: map[[32]byte]bool{}}
+	return v.Verify(p, plan)
+}
+
+func replayKey(p *PoC) [32]byte {
+	var b [NonceSize*2 + 16]byte
+	copy(b[:NonceSize], p.NonceE[:])
+	copy(b[NonceSize:2*NonceSize], p.NonceO[:])
+	binary.BigEndian.PutUint64(b[2*NonceSize:], uint64(p.Plan.TStart))
+	binary.BigEndian.PutUint64(b[2*NonceSize+8:], uint64(p.Plan.TEnd))
+	return sha256.Sum256(b[:])
+}

@@ -1,0 +1,339 @@
+// Package protocol runs TLC's negotiation (Figure 7) as an
+// application-layer protocol over any stream transport: the signed
+// CDR/CDA/PoC messages of internal/poc exchanged with length-prefixed
+// framing, driving the Algorithm 1 game of internal/core. It works
+// identically over net.Pipe (tests, simulation) and TCP (cmd/tlcd).
+package protocol
+
+import (
+	"crypto/rsa"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+
+	"tlc/internal/core"
+	"tlc/internal/poc"
+	"tlc/internal/sim"
+)
+
+// MaxFrame bounds a message frame; PoCs are well under 4 KiB even
+// with RSA-3072.
+const MaxFrame = 64 * 1024
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, data []byte) error {
+	if len(data) > MaxFrame {
+		return fmt.Errorf("protocol: frame of %d bytes exceeds max %d", len(data), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("protocol: frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Errors surfaced by a negotiation run.
+var (
+	ErrNoConvergence = errors.New("protocol: negotiation exhausted max rounds")
+	ErrBadMessage    = errors.New("protocol: malformed or unexpected message")
+	ErrBadPeer       = errors.New("protocol: peer message failed validation")
+)
+
+// Party is one side of the negotiation.
+type Party struct {
+	Role    poc.Role
+	Plan    poc.Plan
+	Keys    *poc.KeyPair
+	PeerKey *rsa.PublicKey
+
+	// Strategy and View drive the Algorithm 1 game exactly as in
+	// internal/core.
+	Strategy core.Strategy
+	View     core.View
+
+	// RNG drives randomized strategies and nonce generation in
+	// deterministic runs; nil uses a zero-seeded stream (nonces are
+	// then deterministic — fine for simulation, not for production;
+	// pass a crypto/rand-backed reader via NonceSource for that).
+	RNG *sim.RNG
+	// NonceSource overrides the nonce randomness (defaults to RNG).
+	NonceSource io.Reader
+
+	// MaxRounds caps claims sent by this party.
+	MaxRounds int
+	// Timeout applies per message exchange when the transport is a
+	// net.Conn.
+	Timeout time.Duration
+}
+
+// Result is the settled negotiation.
+type Result struct {
+	PoC    *poc.PoC
+	X      uint64
+	Rounds int // claims this party sent or answered
+}
+
+func (p *Party) coreRole() core.Role {
+	if p.Role == poc.RoleEdge {
+		return core.EdgeRole
+	}
+	return core.OperatorRole
+}
+
+func (p *Party) rng() *sim.RNG {
+	if p.RNG == nil {
+		p.RNG = sim.NewRNG(0)
+	}
+	return p.RNG
+}
+
+func (p *Party) nonceSource() io.Reader {
+	if p.NonceSource != nil {
+		return p.NonceSource
+	}
+	return p.rng()
+}
+
+func (p *Party) maxRounds() int {
+	if p.MaxRounds > 0 {
+		return p.MaxRounds
+	}
+	return core.DefaultMaxRounds
+}
+
+func (p *Party) deadline(conn io.ReadWriter) {
+	if p.Timeout <= 0 {
+		return
+	}
+	if c, ok := conn.(net.Conn); ok {
+		_ = c.SetDeadline(time.Now().Add(p.Timeout))
+	}
+}
+
+// validateCDR checks plan and signature of a peer claim.
+func (p *Party) validateCDR(c *poc.CDR) error {
+	if !c.Plan.Equal(p.Plan) {
+		return fmt.Errorf("%w: plan mismatch", ErrBadPeer)
+	}
+	if c.Role != p.Role.Other() {
+		return fmt.Errorf("%w: role mismatch", ErrBadPeer)
+	}
+	if err := c.Verify(p.PeerKey); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPeer, err)
+	}
+	return nil
+}
+
+// Run executes the negotiation over the transport. The initiator
+// sends the first CDR; the responder waits for it. On success both
+// sides hold the same doubly signed PoC.
+func (p *Party) Run(conn io.ReadWriter, initiate bool) (*Result, error) {
+	if p.Strategy == nil || p.Keys == nil || p.PeerKey == nil {
+		return nil, errors.New("protocol: Strategy, Keys and PeerKey are required")
+	}
+	bounds := core.Bounds{Lower: 0, Upper: math.Inf(1)}
+	var (
+		seq       uint32
+		lastOwn   *poc.CDR // our latest outstanding claim
+		rounds    int
+		myLastVol = math.NaN()
+	)
+
+	sendCDR := func() error {
+		rounds++
+		if rounds > p.maxRounds() {
+			return ErrNoConvergence
+		}
+		vol := p.Strategy.Claim(p.coreRole(), p.View, bounds, rounds, p.rng())
+		myLastVol = vol
+		cdr, err := poc.BuildCDR(p.Plan, p.Role, seq, poc.RoundVolume(vol), p.nonceSource(), p.Keys.Private)
+		if err != nil {
+			return err
+		}
+		seq++
+		lastOwn = cdr
+		data, err := cdr.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		p.deadline(conn)
+		return WriteFrame(conn, data)
+	}
+
+	// tighten implements Algorithm 1 line 12 after any reject.
+	tighten := func(peerVol uint64) {
+		if math.IsNaN(myLastVol) {
+			return
+		}
+		lo := math.Min(myLastVol, float64(peerVol))
+		hi := math.Max(myLastVol, float64(peerVol))
+		bounds = core.Bounds{Lower: lo, Upper: hi}
+	}
+
+	if initiate {
+		if err := sendCDR(); err != nil {
+			return nil, err
+		}
+	}
+
+	for {
+		p.deadline(conn)
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		if len(frame) == 0 {
+			return nil, ErrBadMessage
+		}
+		switch frame[0] {
+		case 1: // CDR: either the peer's opening claim or a reject/re-claim.
+			var cdr poc.CDR
+			if err := cdr.UnmarshalBinary(frame); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+			}
+			if err := p.validateCDR(&cdr); err != nil {
+				return nil, err
+			}
+			inWindow := bounds.Contains(float64(cdr.Volume))
+			accept := inWindow && p.Strategy.Decide(p.coreRole(), p.View, myLastVol, float64(cdr.Volume), rounds+1, p.rng())
+			if accept {
+				// Reply CDA carrying our own claim.
+				rounds++
+				if rounds > p.maxRounds() {
+					return nil, ErrNoConvergence
+				}
+				vol := p.Strategy.Claim(p.coreRole(), p.View, bounds, rounds, p.rng())
+				myLastVol = vol
+				cda, err := poc.BuildCDA(p.Plan, p.Role, cdr.Seq, poc.RoundVolume(vol), &cdr, p.nonceSource(), p.Keys.Private)
+				if err != nil {
+					return nil, err
+				}
+				seq = cdr.Seq + 1
+				data, err := cda.MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				p.deadline(conn)
+				if err := WriteFrame(conn, data); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Implicit reject: tighten and re-claim (Figure 7 case 2/3).
+			tighten(cdr.Volume)
+			if err := sendCDR(); err != nil {
+				return nil, err
+			}
+
+		case 2: // CDA: the peer accepted our last CDR.
+			var cda poc.CDA
+			if err := cda.UnmarshalBinary(frame); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+			}
+			if !cda.Plan.Equal(p.Plan) || cda.Role != p.Role.Other() {
+				return nil, fmt.Errorf("%w: CDA plan/role", ErrBadPeer)
+			}
+			if err := cda.Verify(p.PeerKey); err != nil {
+				return nil, fmt.Errorf("%w: CDA signature: %v", ErrBadPeer, err)
+			}
+			// The embedded CDR must be exactly the claim we sent —
+			// no mix-and-match across rounds.
+			if lastOwn == nil || cda.Peer.Nonce != lastOwn.Nonce || cda.Peer.Volume != lastOwn.Volume {
+				return nil, fmt.Errorf("%w: CDA embeds a claim we did not send", ErrBadPeer)
+			}
+			accept := p.Strategy.Decide(p.coreRole(), p.View, myLastVol, float64(cda.Volume), rounds, p.rng())
+			if accept {
+				proof, err := poc.BuildPoC(&cda, p.Keys.Private)
+				if err != nil {
+					return nil, err
+				}
+				data, err := proof.MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				p.deadline(conn)
+				if err := WriteFrame(conn, data); err != nil {
+					return nil, err
+				}
+				return &Result{PoC: proof, X: proof.X, Rounds: rounds}, nil
+			}
+			// Reject the acceptance: tighten and re-claim.
+			tighten(cda.Volume)
+			if err := sendCDR(); err != nil {
+				return nil, err
+			}
+
+		case 3: // PoC: the peer finished the negotiation.
+			var proof poc.PoC
+			if err := proof.UnmarshalBinary(frame); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+			}
+			// Validate the whole chain as an Algorithm 2 verifier
+			// would, with our key as one side.
+			var edgeKey, opKey *rsa.PublicKey
+			if p.Role == poc.RoleEdge {
+				edgeKey, opKey = p.Keys.Public, p.PeerKey
+			} else {
+				edgeKey, opKey = p.PeerKey, p.Keys.Public
+			}
+			if err := poc.VerifyStateless(&proof, p.Plan, edgeKey, opKey); err != nil {
+				return nil, fmt.Errorf("%w: PoC: %v", ErrBadPeer, err)
+			}
+			return &Result{PoC: &proof, X: proof.X, Rounds: rounds}, nil
+
+		default:
+			return nil, fmt.Errorf("%w: unknown kind %d", ErrBadMessage, frame[0])
+		}
+	}
+}
+
+// RunPair drives both parties over an in-memory connection and
+// returns their results; it is the simulator's convenience entry.
+func RunPair(initiator, responder *Party) (*Result, *Result, error) {
+	ci, cr := net.Pipe()
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := responder.Run(cr, false)
+		// Closing unblocks the peer if we failed mid-exchange.
+		cr.Close()
+		ch <- outcome{res, err}
+	}()
+	ri, err := initiator.Run(ci, true)
+	ci.Close()
+	ro := <-ch
+	if err != nil {
+		return nil, nil, fmt.Errorf("initiator: %w", err)
+	}
+	if ro.err != nil {
+		return nil, nil, fmt.Errorf("responder: %w", ro.err)
+	}
+	return ri, ro.res, nil
+}

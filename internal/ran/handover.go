@@ -1,0 +1,110 @@
+package ran
+
+import (
+	"time"
+
+	"tlc/internal/netem"
+	"tlc/internal/sim"
+)
+
+// HandoverModel emulates link-layer mobility (§3.1's second gap
+// cause): a moving device periodically switches base stations. During
+// the handover interruption no data flows, and packets buffered at
+// the source eNodeB are lost when X2 forwarding is absent — data that
+// the gateway may already have charged.
+type HandoverModel struct {
+	Sched *sim.Scheduler
+	RNG   *sim.RNG
+
+	// MeanInterval is the mean time between handovers (exponential);
+	// zero disables the model.
+	MeanInterval time.Duration
+	// Interruption is the control-plane break during which the air
+	// interface is unavailable. LTE handover interruption is a few
+	// tens of milliseconds.
+	Interruption time.Duration
+	// ForwardingLossFrac is the fraction of source-eNodeB-buffered
+	// bytes lost at each handover (1 = no X2 forwarding, 0 = perfect
+	// forwarding).
+	ForwardingLossFrac float64
+
+	// Links are the air-interface links whose queues flush on
+	// handover.
+	Links []*netem.Link
+
+	// OnHandover observes each event.
+	OnHandover func(now sim.Time)
+
+	handovers     uint64
+	lostPackets   uint64
+	lostBytes     uint64
+	inHandover    bool
+	handoverUntil sim.Time
+	started       bool
+}
+
+// NewHandoverModel returns a model with LTE-typical defaults.
+func NewHandoverModel(sched *sim.Scheduler, rng *sim.RNG, meanInterval time.Duration) *HandoverModel {
+	return &HandoverModel{
+		Sched:              sched,
+		RNG:                rng,
+		MeanInterval:       meanInterval,
+		Interruption:       50 * time.Millisecond,
+		ForwardingLossFrac: 1,
+	}
+}
+
+// Start schedules the handover process.
+func (h *HandoverModel) Start() {
+	if h.started || h.MeanInterval <= 0 {
+		return
+	}
+	h.started = true
+	h.scheduleNext()
+}
+
+func (h *HandoverModel) scheduleNext() {
+	gap := h.RNG.Exp(h.MeanInterval)
+	if gap < time.Second {
+		gap = time.Second
+	}
+	h.Sched.After(gap, h.execute)
+}
+
+func (h *HandoverModel) execute() {
+	now := h.Sched.Now()
+	h.handovers++
+	h.inHandover = true
+	h.handoverUntil = now + h.Interruption
+
+	// Source-cell buffer loss.
+	for _, l := range h.Links {
+		pkts, bytes := l.DropQueuedFraction(h.ForwardingLossFrac)
+		h.lostPackets += pkts
+		h.lostBytes += bytes
+	}
+	if h.OnHandover != nil {
+		h.OnHandover(now)
+	}
+	h.Sched.After(h.Interruption, func() {
+		h.inHandover = false
+		// Re-kick the links: their gates just opened.
+		for _, l := range h.Links {
+			l.Kick()
+		}
+	})
+	h.scheduleNext()
+}
+
+// Active reports whether a handover interruption is in progress; air
+// link gates consult it.
+func (h *HandoverModel) Active(now sim.Time) bool {
+	return h.inHandover && now < h.handoverUntil
+}
+
+// Handovers returns the number of executed handovers.
+func (h *HandoverModel) Handovers() uint64 { return h.handovers }
+
+// Lost returns the packets and bytes dropped from source-cell
+// buffers.
+func (h *HandoverModel) Lost() (packets, bytes uint64) { return h.lostPackets, h.lostBytes }

@@ -1,0 +1,177 @@
+// Package receipts is the durable Proof-of-Charging archive: both
+// parties "locally store [the PoC] as a charging receipt" (§5.3.2)
+// and later hand receipts to a public verifier. The archive is a
+// directory of JSON records, content-addressed so duplicate receipts
+// de-duplicate naturally, with a bulk re-verification pass that
+// reruns Algorithm 2 over everything (the court/FCC audit workflow of
+// §5.3.4).
+package receipts
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"tlc/internal/poc"
+)
+
+// Record is one archived receipt.
+type Record struct {
+	// ID is the content address (hex SHA-256 prefix of the proof).
+	ID string `json:"id"`
+	// Plan is the data-plan fragment the proof settles.
+	PlanStart int64   `json:"plan_start"`
+	PlanEnd   int64   `json:"plan_end"`
+	PlanC     float64 `json:"plan_c"`
+	// X is the settled volume in bytes (denormalised for listing).
+	X uint64 `json:"x"`
+	// StoredAt is the archive timestamp.
+	StoredAt time.Time `json:"stored_at"`
+	// Proof is the serialized PoC.
+	Proof []byte `json:"proof"`
+}
+
+// Store is a directory-backed archive.
+type Store struct {
+	dir string
+}
+
+// Open creates or opens an archive directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("receipts: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// idOf content-addresses a proof.
+func idOf(proof []byte) string {
+	sum := sha256.Sum256(proof)
+	return hex.EncodeToString(sum[:8])
+}
+
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, "receipt-"+id+".json")
+}
+
+// Put archives a serialized proof, returning its record. The proof is
+// decoded first: garbage never enters the archive.
+func (s *Store) Put(proof []byte, storedAt time.Time) (*Record, error) {
+	var p poc.PoC
+	if err := p.UnmarshalBinary(proof); err != nil {
+		return nil, fmt.Errorf("receipts: refusing to archive undecodable proof: %w", err)
+	}
+	rec := &Record{
+		ID:        idOf(proof),
+		PlanStart: p.Plan.TStart,
+		PlanEnd:   p.Plan.TEnd,
+		PlanC:     p.Plan.C,
+		X:         p.X,
+		StoredAt:  storedAt.UTC(),
+		Proof:     append([]byte(nil), proof...),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(s.path(rec.ID), data, 0o644); err != nil {
+		return nil, fmt.Errorf("receipts: %w", err)
+	}
+	return rec, nil
+}
+
+// Get loads a record by ID.
+func (s *Store) Get(id string) (*Record, error) {
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("receipts: %w", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("receipts: corrupt record %s: %w", id, err)
+	}
+	if idOf(rec.Proof) != rec.ID {
+		return nil, fmt.Errorf("receipts: record %s fails its content address", id)
+	}
+	return &rec, nil
+}
+
+// List returns all records sorted by plan start then ID.
+func (s *Store) List() ([]*Record, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("receipts: %w", err)
+	}
+	var out []*Record
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "receipt-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(strings.TrimPrefix(name, "receipt-"), ".json")
+		rec, err := s.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PlanStart != out[j].PlanStart {
+			return out[i].PlanStart < out[j].PlanStart
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// AuditResult is one receipt's verification outcome.
+type AuditResult struct {
+	ID  string
+	X   uint64
+	Err error
+}
+
+// Audit reruns Algorithm 2 over the whole archive with a shared
+// replay set, so duplicated nonces across records are caught.
+func (s *Store) Audit(edgeKey, operatorKey *rsa.PublicKey) ([]AuditResult, error) {
+	recs, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	verifier := poc.NewVerifier(edgeKey, operatorKey)
+	out := make([]AuditResult, 0, len(recs))
+	for _, rec := range recs {
+		var p poc.PoC
+		res := AuditResult{ID: rec.ID, X: rec.X}
+		if err := p.UnmarshalBinary(rec.Proof); err != nil {
+			res.Err = err
+		} else {
+			res.Err = verifier.Verify(&p, poc.Plan{TStart: rec.PlanStart, TEnd: rec.PlanEnd, C: rec.PlanC})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// TotalSettled sums the settled volumes of valid records — the
+// billing total for the archive's period.
+func (s *Store) TotalSettled(edgeKey, operatorKey *rsa.PublicKey) (uint64, error) {
+	results, err := s.Audit(edgeKey, operatorKey)
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for _, r := range results {
+		if r.Err == nil {
+			total += r.X
+		}
+	}
+	return total, nil
+}

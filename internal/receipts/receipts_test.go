@@ -1,0 +1,177 @@
+package receipts
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"tlc/internal/poc"
+	"tlc/internal/sim"
+)
+
+var (
+	edgeKP *poc.KeyPair
+	opKP   *poc.KeyPair
+)
+
+func init() {
+	rng := sim.NewRNG(808)
+	var err error
+	if edgeKP, err = poc.GenerateKeyPair(poc.DefaultKeyBits, rng.Fork("e")); err != nil {
+		panic(err)
+	}
+	if opKP, err = poc.GenerateKeyPair(poc.DefaultKeyBits, rng.Fork("o")); err != nil {
+		panic(err)
+	}
+}
+
+func buildProof(t *testing.T, rng *sim.RNG, cycle int64, xe, xo uint64) []byte {
+	t.Helper()
+	plan := poc.Plan{TStart: cycle * int64(time.Hour), TEnd: (cycle + 1) * int64(time.Hour), C: 0.5}
+	cdr, err := poc.BuildCDR(plan, poc.RoleOperator, 0, xo, rng, opKP.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cda, err := poc.BuildCDA(plan, poc.RoleEdge, 0, xe, cdr, rng, edgeKP.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := poc.BuildPoC(cda, opKP.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPutGetList(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	now := time.Date(2019, 1, 7, 8, 13, 46, 0, time.UTC)
+	p1 := buildProof(t, rng, 0, 1000, 900)
+	p2 := buildProof(t, rng, 1, 2000, 1900)
+	r1, err := store.Put(p1, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put(p2, now); err != nil {
+		t.Fatal(err)
+	}
+	if r1.X != 950 || r1.PlanC != 0.5 {
+		t.Fatalf("record = %+v", r1)
+	}
+	got, err := store.Get(r1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X != r1.X || string(got.Proof) != string(p1) {
+		t.Fatal("Get mismatch")
+	}
+	list, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].PlanStart > list[1].PlanStart {
+		t.Fatalf("List = %d records, order wrong", len(list))
+	}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	store, _ := Open(t.TempDir())
+	rng := sim.NewRNG(2)
+	p := buildProof(t, rng, 0, 1000, 900)
+	a, _ := store.Put(p, time.Now())
+	b, _ := store.Put(p, time.Now())
+	if a.ID != b.ID {
+		t.Fatal("same proof got different IDs")
+	}
+	list, _ := store.List()
+	if len(list) != 1 {
+		t.Fatalf("duplicate archived: %d records", len(list))
+	}
+}
+
+func TestPutRejectsGarbage(t *testing.T) {
+	store, _ := Open(t.TempDir())
+	if _, err := store.Put([]byte("garbage"), time.Now()); err == nil {
+		t.Fatal("garbage archived")
+	}
+}
+
+func TestGetDetectsTampering(t *testing.T) {
+	store, _ := Open(t.TempDir())
+	rng := sim.NewRNG(3)
+	rec, err := store.Put(buildProof(t, rng, 0, 1000, 900), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the stored file with a record whose proof no longer
+	// matches the content address: Get must reject it.
+	forged := []byte(`{"id":"` + rec.ID + `","plan_start":0,"plan_end":1,"plan_c":0.5,` +
+		`"x":1,"stored_at":"2019-01-07T00:00:00Z","proof":"AAAA"}`)
+	if err := os.WriteFile(store.path(rec.ID), forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(rec.ID); err == nil {
+		t.Fatal("tampered record passed its content address")
+	}
+	// And List surfaces the corruption rather than skipping it.
+	if _, err := store.List(); err == nil {
+		t.Fatal("List ignored a corrupt record")
+	}
+}
+
+func TestAuditAcceptsValidArchive(t *testing.T) {
+	store, _ := Open(t.TempDir())
+	rng := sim.NewRNG(4)
+	for i := int64(0); i < 5; i++ {
+		if _, err := store.Put(buildProof(t, rng, i, 1000+uint64(i), 900), time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := store.Audit(edgeKP.Public, opKP.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("audited %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("valid receipt %s failed: %v", r.ID, r.Err)
+		}
+	}
+	total, err := store.TotalSettled(edgeKP.Public, opKP.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("zero settled total")
+	}
+}
+
+func TestAuditFlagsWrongKeys(t *testing.T) {
+	store, _ := Open(t.TempDir())
+	rng := sim.NewRNG(5)
+	if _, err := store.Put(buildProof(t, rng, 0, 1000, 900), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// Audit with swapped keys: every signature check fails.
+	results, err := store.Audit(opKP.Public, edgeKP.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("audit with wrong keys passed")
+	}
+	if !errors.Is(results[0].Err, poc.ErrBadSignature) && !errors.Is(results[0].Err, poc.ErrRoleChain) {
+		t.Fatalf("unexpected audit error: %v", results[0].Err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to reproduce the paper's CDFs, averages, and percentile
+// claims (e.g. "95% of records have ≤7.7% error").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is a mutable collection of float64 observations.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// NewSample returns a Sample pre-filled with the given values.
+func NewSample(values ...float64) *Sample {
+	s := &Sample{}
+	s.Add(values...)
+	return s
+}
+
+// Add appends observations to the sample.
+func (s *Sample) Add(values ...float64) {
+	s.values = append(s.values, values...)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.values) }
+
+// Values returns a copy of the raw observations.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[len(s.values)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// CDFPoint is one (value, cumulative fraction) point.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // in (0, 1]
+}
+
+// CDF returns the empirical CDF of the sample as sorted points. Ties
+// collapse into a single point carrying the cumulative fraction.
+func (s *Sample) CDF() []CDFPoint {
+	n := len(s.values)
+	if n == 0 {
+		return nil
+	}
+	s.sort()
+	var out []CDFPoint
+	for i, v := range s.values {
+		f := float64(i+1) / float64(n)
+		if len(out) > 0 && out[len(out)-1].Value == v {
+			out[len(out)-1].Fraction = f
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Fraction: f})
+	}
+	return out
+}
+
+// CDFAt returns the empirical cumulative fraction of observations <= x.
+func (s *Sample) CDFAt(x float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.values, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(n)
+}
+
+// Summary is a compact, printable statistical summary.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	P50    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      s.Len(),
+		Mean:   s.Mean(),
+		Stddev: s.Stddev(),
+		Min:    s.Min(),
+		P50:    s.Median(),
+		P95:    s.Percentile(95),
+		Max:    s.Max(),
+	}
+}
+
+// String renders the summary as a single table-friendly line.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f",
+		sm.N, sm.Mean, sm.Stddev, sm.Min, sm.P50, sm.P95, sm.Max)
+}
+
+// RenderCDF renders an ASCII CDF sparkline table with the given number
+// of quantile rows, matching how the paper's CDF figures are read
+// ("X% of samples are below V").
+func RenderCDF(name string, s *Sample, rows int) string {
+	if rows <= 0 {
+		rows = 5
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", name, s.Len())
+	for i := 1; i <= rows; i++ {
+		p := float64(i) / float64(rows) * 100
+		fmt.Fprintf(&b, "  p%-5.1f %12.4f\n", p, s.Percentile(p))
+	}
+	return b.String()
+}
+
+// Series is an ordered (x, y) series used for the paper's line figures
+// (gap vs background traffic, gap vs time, ...).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// AddPoint appends a point to the series.
+func (s *Series) AddPoint(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Table renders one or more series that share X values as an aligned
+// text table, one row per X.
+func Table(header string, xs []float64, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", header)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range xs {
+		fmt.Fprintf(&b, "%-12.4g", x)
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %16.4f", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,276 @@
+// Package trace records and replays packet traces. The paper replays
+// tcpdump logs of VRidge/Portal-2 and King of Glory through its
+// testbed (via tcprelay); this package provides the equivalent
+// mechanism — a compact binary trace format, a Recorder that taps a
+// packet path, and a Replayer that re-emits a trace into the emulated
+// network — together with synthesizers that build traces from the
+// workload models since the original captures are proprietary.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tlc/internal/apps"
+	"tlc/internal/netem"
+	"tlc/internal/sim"
+)
+
+// Magic identifies the trace file format.
+const Magic = "TLCTRC01"
+
+// Trace is an in-memory packet trace for a single flow.
+type Trace struct {
+	Flow string
+	IMSI string
+	Dir  netem.Direction
+	QCI  uint8
+
+	Times []sim.Time // emission times, non-decreasing
+	Sizes []int32    // bytes on the wire
+}
+
+// Len returns the number of packets.
+func (t *Trace) Len() int { return len(t.Times) }
+
+// Bytes returns the total traced volume.
+func (t *Trace) Bytes() uint64 {
+	var total uint64
+	for _, s := range t.Sizes {
+		total += uint64(s)
+	}
+	return total
+}
+
+// Duration returns the time span of the trace.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Times) == 0 {
+		return 0
+	}
+	return t.Times[len(t.Times)-1] - t.Times[0]
+}
+
+// Append adds one packet record. Times must be non-decreasing.
+func (t *Trace) Append(at sim.Time, size int) error {
+	if n := len(t.Times); n > 0 && at < t.Times[n-1] {
+		return fmt.Errorf("trace: non-monotonic time %v after %v", at, t.Times[n-1])
+	}
+	if size <= 0 {
+		return fmt.Errorf("trace: non-positive size %d", size)
+	}
+	t.Times = append(t.Times, at)
+	t.Sizes = append(t.Sizes, int32(size))
+	return nil
+}
+
+// WriteTo serialises the trace. Format: magic, flow, imsi, dir, qci,
+// count, then per packet a varint time delta (ns) and varint size.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(Magic)); err != nil {
+		return n, err
+	}
+	writeStr := func(s string) error {
+		var buf [binary.MaxVarintLen64]byte
+		k := binary.PutUvarint(buf[:], uint64(len(s)))
+		if err := count(bw.Write(buf[:k])); err != nil {
+			return err
+		}
+		return count(bw.WriteString(s))
+	}
+	if err := writeStr(t.Flow); err != nil {
+		return n, err
+	}
+	if err := writeStr(t.IMSI); err != nil {
+		return n, err
+	}
+	if err := count(bw.Write([]byte{byte(t.Dir), t.QCI})); err != nil {
+		return n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], uint64(len(t.Times)))
+	if err := count(bw.Write(buf[:k])); err != nil {
+		return n, err
+	}
+	prev := sim.Time(0)
+	for i := range t.Times {
+		k = binary.PutUvarint(buf[:], uint64(t.Times[i]-prev))
+		if err := count(bw.Write(buf[:k])); err != nil {
+			return n, err
+		}
+		prev = t.Times[i]
+		k = binary.PutUvarint(buf[:], uint64(t.Sizes[i]))
+		if err := count(bw.Write(buf[:k])); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a trace written by WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: short magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	readStr := func() (string, error) {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if l > 1<<20 {
+			return "", errors.New("trace: unreasonable string length")
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	t := &Trace{}
+	var err error
+	if t.Flow, err = readStr(); err != nil {
+		return nil, fmt.Errorf("trace: flow: %w", err)
+	}
+	if t.IMSI, err = readStr(); err != nil {
+		return nil, fmt.Errorf("trace: imsi: %w", err)
+	}
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	t.Dir = netem.Direction(hdr[0])
+	t.QCI = hdr[1]
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: count: %w", err)
+	}
+	if count > 1<<30 {
+		return nil, errors.New("trace: unreasonable packet count")
+	}
+	t.Times = make([]sim.Time, 0, count)
+	t.Sizes = make([]int32, 0, count)
+	prev := sim.Time(0)
+	for i := uint64(0); i < count; i++ {
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d time: %w", i, err)
+		}
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d size: %w", i, err)
+		}
+		prev += sim.Time(dt)
+		t.Times = append(t.Times, prev)
+		t.Sizes = append(t.Sizes, int32(size))
+	}
+	return t, nil
+}
+
+// Recorder taps a packet path and accumulates a Trace.
+type Recorder struct {
+	Trace *Trace
+	sched *sim.Scheduler
+	// Next optionally forwards packets.
+	Next netem.Node
+}
+
+// NewRecorder returns a recorder capturing flow metadata from the
+// first packet it sees.
+func NewRecorder(sched *sim.Scheduler, next netem.Node) *Recorder {
+	return &Recorder{Trace: &Trace{}, sched: sched, Next: next}
+}
+
+// Recv implements netem.Node.
+func (r *Recorder) Recv(p *netem.Packet) {
+	if r.Trace.Len() == 0 {
+		r.Trace.Flow = p.Flow
+		r.Trace.IMSI = p.IMSI
+		r.Trace.Dir = p.Dir
+		r.Trace.QCI = p.QCI
+	}
+	// Append never fails here: scheduler time is monotonic.
+	_ = r.Trace.Append(r.sched.Now(), p.Size)
+	if r.Next != nil {
+		r.Next.Recv(p)
+	}
+}
+
+// Replayer re-emits a trace into the network, like the paper's use of
+// tcprelay to replay VR and gaming captures over the testbed LTE.
+type Replayer struct {
+	Trace *Trace
+	Sched *sim.Scheduler
+	IDs   *netem.IDGen
+	Dst   netem.Node
+	// TimeScale stretches (>1) or compresses (<1) the replay; 0
+	// means 1.0 (real time).
+	TimeScale float64
+	// OnEmit observes every replayed packet.
+	OnEmit func(*netem.Packet)
+
+	emitted uint64
+	bytes   uint64
+}
+
+// Start schedules the entire trace starting at the given time.
+func (r *Replayer) Start(at sim.Time) {
+	scale := r.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	if r.Trace.Len() == 0 {
+		return
+	}
+	t0 := r.Trace.Times[0]
+	for i := range r.Trace.Times {
+		i := i
+		offset := time.Duration(float64(r.Trace.Times[i]-t0) * scale)
+		r.Sched.At(at+offset, func() {
+			pkt := &netem.Packet{
+				ID:   r.IDs.Next(),
+				Flow: r.Trace.Flow,
+				IMSI: r.Trace.IMSI,
+				QCI:  r.Trace.QCI,
+				Size: int(r.Trace.Sizes[i]),
+				Dir:  r.Trace.Dir,
+				Sent: r.Sched.Now(),
+			}
+			r.emitted++
+			r.bytes += uint64(pkt.Size)
+			if r.OnEmit != nil {
+				r.OnEmit(pkt)
+			}
+			r.Dst.Recv(pkt)
+		})
+	}
+}
+
+// Emitted returns (packets, bytes) replayed so far.
+func (r *Replayer) Emitted() (uint64, uint64) { return r.emitted, r.bytes }
+
+// Synthesize builds a trace by running a workload profile for the
+// given duration on a private scheduler. It stands in for the paper's
+// proprietary tcpdump captures.
+func Synthesize(p apps.Profile, flow, imsi string, dur time.Duration, seed int64) *Trace {
+	sched := sim.NewScheduler()
+	rec := NewRecorder(sched, nil)
+	st := apps.NewStreamer(p, sched, &netem.IDGen{}, rec, flow, imsi, sim.NewRNG(seed))
+	st.Start(0)
+	sched.RunUntil(dur)
+	st.Stop()
+	return rec.Trace
+}

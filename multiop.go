@@ -1,0 +1,142 @@
+package tlc
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"sort"
+	"time"
+
+	"tlc/internal/receipts"
+)
+
+// This file implements the §8 extensions: the multi-access edge
+// (per-operator TLC instances for devices that combine several 4G/5G
+// operators) and the durable receipt archive both parties keep.
+
+// OperatorAccount is one cellular operator a multi-access edge device
+// uses, with its agreed plan and the usage the edge metered on that
+// operator's network. "The edge should classify its data traffic by
+// operators when generating the charging records" (§8).
+type OperatorAccount struct {
+	Name  string
+	Plan  Plan
+	Keys  *rsa.PublicKey // operator's public key
+	Usage Usage          // edge-side usage view for this operator
+}
+
+// MultiOperatorOutcome is one operator's settlement.
+type MultiOperatorOutcome struct {
+	Operator string
+	Receipt  *Receipt
+	Err      error
+}
+
+// SettleMultiOperator runs one TLC negotiation per operator for a
+// multi-access edge device. Each negotiation is independent: its own
+// plan, keys and usage classification. opKeys maps operator name to
+// that operator's *private* key pair — in production each operator
+// runs its own endpoint; this in-process form serves simulations and
+// tests. Results are sorted by operator name.
+func SettleMultiOperator(edgeKeys *KeyPair, accounts []OperatorAccount,
+	opKeys map[string]*KeyPair, strategy Strategy, seed int64) []MultiOperatorOutcome {
+	out := make([]MultiOperatorOutcome, 0, len(accounts))
+	for i, acct := range accounts {
+		res := MultiOperatorOutcome{Operator: acct.Name}
+		kp, ok := opKeys[acct.Name]
+		if !ok {
+			res.Err = fmt.Errorf("tlc: no key pair for operator %q", acct.Name)
+			out = append(out, res)
+			continue
+		}
+		opReceipt, _, err := NegotiateLocal(acct.Plan, edgeKeys, kp,
+			acct.Usage, acct.Usage, strategy, strategy, seed+int64(i))
+		if err != nil {
+			res.Err = err
+			out = append(out, res)
+			continue
+		}
+		res.Receipt = opReceipt
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Operator < out[j].Operator })
+	return out
+}
+
+// Archive is a durable receipt store (one per party, per peer).
+type Archive struct {
+	store *receipts.Store
+}
+
+// OpenArchive creates or opens a receipt archive directory.
+func OpenArchive(dir string) (*Archive, error) {
+	s, err := receipts.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{store: s}, nil
+}
+
+// Save archives a settled receipt's proof.
+func (a *Archive) Save(r *Receipt) (id string, err error) {
+	rec, err := a.store.Put(r.Proof, time.Now())
+	if err != nil {
+		return "", err
+	}
+	return rec.ID, nil
+}
+
+// ArchiveEntry summarises one archived receipt.
+type ArchiveEntry struct {
+	ID    string
+	X     uint64
+	Start time.Time
+	End   time.Time
+	C     float64
+}
+
+// List returns the archive contents ordered by cycle start.
+func (a *Archive) List() ([]ArchiveEntry, error) {
+	recs, err := a.store.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ArchiveEntry, len(recs))
+	for i, r := range recs {
+		out[i] = ArchiveEntry{
+			ID:    r.ID,
+			X:     r.X,
+			Start: time.Unix(0, r.PlanStart),
+			End:   time.Unix(0, r.PlanEnd),
+			C:     r.PlanC,
+		}
+	}
+	return out, nil
+}
+
+// AuditReport is the outcome of re-verifying the whole archive.
+type AuditReport struct {
+	Valid        int
+	Invalid      int
+	TotalSettled uint64
+	Failures     map[string]error
+}
+
+// Audit reruns Algorithm 2 across the archive with a shared replay
+// set and totals the validly settled volume.
+func (a *Archive) Audit(edgeKey, operatorKey *rsa.PublicKey) (*AuditReport, error) {
+	results, err := a.store.Audit(edgeKey, operatorKey)
+	if err != nil {
+		return nil, err
+	}
+	rep := &AuditReport{Failures: map[string]error{}}
+	for _, r := range results {
+		if r.Err != nil {
+			rep.Invalid++
+			rep.Failures[r.ID] = r.Err
+			continue
+		}
+		rep.Valid++
+		rep.TotalSettled += r.X
+	}
+	return rep, nil
+}

@@ -1,0 +1,137 @@
+package tlc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSettleMultiOperator(t *testing.T) {
+	edgeKeys, _ := testKeys(t)
+	opA, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opB, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2019, 1, 7, 7, 0, 0, 0, time.UTC)
+	accounts := []OperatorAccount{
+		{
+			Name: "operator-B", Plan: Plan{Start: start, End: start.Add(time.Hour), C: 0.5},
+			Keys: opB.Public(), Usage: Usage{Sent: 500_000, Received: 480_000},
+		},
+		{
+			Name: "operator-A", Plan: Plan{Start: start, End: start.Add(time.Hour), C: 0.25},
+			Keys: opA.Public(), Usage: Usage{Sent: 1_000_000, Received: 900_000},
+		},
+	}
+	keys := map[string]*KeyPair{"operator-A": opA, "operator-B": opB}
+	outcomes := SettleMultiOperator(edgeKeys, accounts, keys, Optimal, 99)
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	// Sorted by operator name.
+	if outcomes[0].Operator != "operator-A" || outcomes[1].Operator != "operator-B" {
+		t.Fatalf("order: %s, %s", outcomes[0].Operator, outcomes[1].Operator)
+	}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("%s: %v", o.Operator, o.Err)
+		}
+	}
+	// Per-operator plans apply independently: c=0.25 for A.
+	wantA := ExpectedCharge(accounts[1].Plan, accounts[1].Usage)
+	if outcomes[0].Receipt.X != wantA {
+		t.Fatalf("operator-A settled %d, want %d", outcomes[0].Receipt.X, wantA)
+	}
+	// Each proof verifies under its own operator's key only.
+	if err := Verify(outcomes[0].Receipt.Proof, accounts[1].Plan, edgeKeys.Public(), opA.Public()); err != nil {
+		t.Fatalf("A proof: %v", err)
+	}
+	if Verify(outcomes[0].Receipt.Proof, accounts[1].Plan, edgeKeys.Public(), opB.Public()) == nil {
+		t.Fatal("A proof verified with B's key")
+	}
+}
+
+func TestSettleMultiOperatorMissingKey(t *testing.T) {
+	edgeKeys, opKeys := testKeys(t)
+	start := time.Now().Truncate(time.Hour)
+	accounts := []OperatorAccount{{
+		Name: "ghost", Plan: Plan{Start: start, End: start.Add(time.Hour), C: 0.5},
+		Keys: opKeys.Public(), Usage: Usage{Sent: 1, Received: 1},
+	}}
+	outcomes := SettleMultiOperator(edgeKeys, accounts, nil, Optimal, 1)
+	if outcomes[0].Err == nil {
+		t.Fatal("missing operator key not reported")
+	}
+}
+
+func TestArchiveSaveListAudit(t *testing.T) {
+	edgeKeys, opKeys := testKeys(t)
+	plan := testPlan()
+	usage := Usage{Sent: 800_000, Received: 760_000}
+	a, err := OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := int64(0); i < 3; i++ {
+		p := plan
+		p.Start = plan.Start.Add(time.Duration(i) * time.Hour)
+		p.End = p.Start.Add(time.Hour)
+		opR, _, err := NegotiateLocal(p, edgeKeys, opKeys, usage, usage, Optimal, Optimal, 500+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := a.Save(opR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	list, err := a.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("archive has %d entries", len(list))
+	}
+	if !list[0].Start.Before(list[1].Start) {
+		t.Fatal("archive not ordered by cycle start")
+	}
+	rep, err := a.Audit(edgeKeys.Public(), opKeys.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != 3 || rep.Invalid != 0 {
+		t.Fatalf("audit = %+v", rep)
+	}
+	want := 3 * ExpectedCharge(plan, usage)
+	if rep.TotalSettled != want {
+		t.Fatalf("TotalSettled = %d, want %d", rep.TotalSettled, want)
+	}
+	_ = ids
+}
+
+func TestArchiveAuditWrongKeys(t *testing.T) {
+	edgeKeys, opKeys := testKeys(t)
+	plan := testPlan()
+	usage := Usage{Sent: 100, Received: 90}
+	a, _ := OpenArchive(t.TempDir())
+	opR, _, err := NegotiateLocal(plan, edgeKeys, opKeys, usage, usage, Honest, Honest, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Save(opR); err != nil {
+		t.Fatal(err)
+	}
+	// Swapped keys: the audit flags the receipt instead of passing.
+	rep, err := a.Audit(opKeys.Public(), edgeKeys.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid != 0 || rep.Invalid != 1 || len(rep.Failures) != 1 {
+		t.Fatalf("audit = %+v", rep)
+	}
+}
