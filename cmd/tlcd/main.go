@@ -133,7 +133,7 @@ func runOperator(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ln.Close()
+	defer ln.Close() //tlcvet:allow errdiscard — process is exiting; nothing to do on listener-close failure
 	log.Printf("operator listening on %s (plan c=%.2f cycle=[%s, %s))",
 		ln.Addr(), plan.C, plan.Start.Format(time.RFC3339), plan.End.Format(time.RFC3339))
 	for {
@@ -142,8 +142,11 @@ func runOperator(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
 			log.Fatal(err)
 		}
 		func() {
-			defer conn.Close()
-			conn.SetDeadline(time.Now().Add(time.Minute))
+			defer conn.Close() //tlcvet:allow errdiscard — negotiation already settled or failed; close is cleanup
+			if err := conn.SetDeadline(time.Now().Add(time.Minute)); err != nil {
+				log.Printf("set deadline for %s: %v", conn.RemoteAddr(), err)
+				return
+			}
 			if err := settle(conn, tlc.Operator, plan, keys, usage, strat, true, proofOut); err != nil {
 				log.Printf("negotiation with %s failed: %v", conn.RemoteAddr(), err)
 			}
@@ -160,8 +163,10 @@ func runEdge(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(time.Minute))
+	defer conn.Close() //tlcvet:allow errdiscard — negotiation already settled or failed; close is cleanup
+	if err := conn.SetDeadline(time.Now().Add(time.Minute)); err != nil {
+		log.Fatalf("set deadline: %v", err)
+	}
 	if err := settle(conn, tlc.Edge, plan, keys, usage, strat, false, proofOut); err != nil {
 		log.Fatal(err)
 	}

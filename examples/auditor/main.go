@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //tlcvet:allow errdiscard — best-effort temp-dir cleanup on exit
 	archive, err := tlc.OpenArchive(dir)
 	if err != nil {
 		log.Fatal(err)

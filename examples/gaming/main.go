@@ -53,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ln.Close()
+	defer ln.Close() //tlcvet:allow errdiscard — demo teardown; listener-close failure is inconsequential
 
 	type result struct {
 		receipt *tlc.Receipt
@@ -66,7 +66,7 @@ func main() {
 			opCh <- result{nil, err}
 			return
 		}
-		defer conn.Close()
+		defer conn.Close() //tlcvet:allow errdiscard — demo teardown after the negotiation result is captured
 		op := tlc.NewNegotiator(tlc.Operator, plan, opKeys, edgeKeys.Public(), usage, tlc.Optimal)
 		r, err := op.Negotiate(conn, true)
 		opCh <- result{r, err}
@@ -76,7 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
+	defer conn.Close() //tlcvet:allow errdiscard — demo teardown after the negotiation result is captured
 	edge := tlc.NewNegotiator(tlc.Edge, plan, edgeKeys, opKeys.Public(), usage, tlc.Optimal)
 	edgeReceipt, err := edge.Negotiate(conn, false)
 	if err != nil {

@@ -21,6 +21,12 @@ type Options struct {
 	Seeds int
 	// BGLevels are the background-traffic sweep points in Mbps.
 	BGLevels []float64
+	// Stopwatch supplies the elapsed-time probe for the benchmark-style
+	// "this-host" rows (Figure 17), which genuinely measure the real
+	// crypto implementation. The default reads the monotonic wall
+	// clock — the one sanctioned wall-clock use in this package — and
+	// tests inject a fake so regenerated figures stay byte-identical.
+	Stopwatch Stopwatch
 }
 
 func (o Options) withDefaults() Options {
@@ -32,6 +38,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.BGLevels) == 0 {
 		o.BGLevels = []float64{0, 100, 120, 140, 160}
+	}
+	if o.Stopwatch == nil {
+		o.Stopwatch = wallStopwatch
 	}
 	return o
 }

@@ -116,18 +116,18 @@ func Fig17(opt Options) Result {
 	}
 	proof := build()
 	const iters = 50
-	start := time.Now()
+	elapsed := opt.Stopwatch()
 	for i := 0; i < iters; i++ {
 		_ = build()
 	}
-	negReal := time.Since(start) / iters
-	start = time.Now()
+	negReal := elapsed() / iters
+	elapsed = opt.Stopwatch()
 	for i := 0; i < iters; i++ {
 		if err := poc.VerifyStateless(proof, plan, edgeKeys.Public, opKeys.Public); err != nil {
 			return Result{ID: "fig17", Text: "verification failed: " + err.Error()}
 		}
 	}
-	verReal := time.Since(start) / iters
+	verReal := elapsed() / iters
 	perHour := 3600 / verReal.Seconds()
 	fmt.Fprintf(&b, "%-16s %18.2f %18.2f  (measured, RSA-%d)\n", "this-host",
 		negReal.Seconds()*1e3, verReal.Seconds()*1e3, poc.DefaultKeyBits)

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// cryptoBannedImports maps imports that undermine the
+// Proof-of-Charging's security to the reason they are banned in
+// crypto-sensitive packages.
+var cryptoBannedImports = map[string]string{
+	"math/rand":    "predictable randomness; nonces/keys/salts must come from crypto/rand",
+	"math/rand/v2": "predictable randomness; nonces/keys/salts must come from crypto/rand",
+	"crypto/md5":   "broken hash; use crypto/sha256 or stronger",
+	"crypto/sha1":  "broken hash; use crypto/sha256 or stronger",
+}
+
+// CryptoRand guards the crypto-sensitive packages (internal/poc, the
+// Proof-of-Charging, and internal/keyio, its key handling): anything
+// generating nonces, keys or salts there must use crypto/rand, and
+// collision-broken digests (md5, sha1) may not be imported at all. A
+// PoC built on predictable nonces is forgeable no matter how sound the
+// protocol is.
+var CryptoRand = &Analyzer{
+	Name: "cryptorand",
+	Doc:  "forbid math/rand and weak hashes (md5, sha1) in internal/poc and internal/keyio",
+	// Scope: any package with a "poc" or "keyio" path segment under an
+	// "internal" segment, so subpackages (and the lint fixtures) are
+	// covered too.
+	Applies: func(importPath string) bool {
+		inInternal := false
+		for _, seg := range strings.Split(importPath, "/") {
+			if seg == "internal" {
+				inInternal = true
+			}
+			if inInternal && (seg == "poc" || seg == "keyio") {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runCryptoRand,
+}
+
+func runCryptoRand(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, spec := range file.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			reason, banned := cryptoBannedImports[path]
+			if !banned {
+				continue
+			}
+			pass.Reportf(spec.Pos(), "import of %s in crypto-sensitive package: %s", path, reason)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// ErrDiscard flags statements that drop a function's error result on
+// the floor: a bare call statement, `defer f()` or `go f()` whose
+// callee returns an error nobody looks at. The charging pipeline's
+// guarantees (signed records, framed protocol messages, deadline
+// handling) all communicate failure through errors; a silent drop
+// turns a detectable fault into a wrong bill. Explicit discards
+// (`_ = f()`) are visible in review and stay legal; silent ones need a
+// handler or a //tlcvet:allow errdiscard directive with a reason.
+//
+// Unlike the determinism checks this applies to the whole module
+// (library root, cmd/, examples/), not just internal/: operator-facing
+// binaries are exactly where dropped I/O errors hurt.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "flag calls whose error result is silently dropped (bare statement, defer, go)",
+	Run:  runErrDiscard,
+}
+
+func runErrDiscard(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkDiscardedError(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscardedError(pass, stmt.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDiscardedError(pass, stmt.Call, "spawned ")
+			}
+			return true
+		})
+	}
+}
+
+func checkDiscardedError(pass *Pass, call *ast.CallExpr, kind string) {
+	tv, ok := pass.Info.Types[ast.Expr(call)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if !returnsError(tv.Type) {
+		return
+	}
+	if neverFails(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%scall to %s discards its error result; handle it, assign it, or annotate //tlcvet:allow errdiscard",
+		kind, calleeText(pass.Fset, call.Fun))
+}
+
+// returnsError reports whether t is the error type or a tuple
+// containing it.
+func returnsError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// neverFails whitelists callees whose error results are documented to
+// always be nil or that print to the process streams by design:
+// fmt.Print* (and fmt.Fprint* aimed at os.Stdout/os.Stderr — the same
+// thing spelled longhand), plus any method on strings.Builder or
+// bytes.Buffer (including fmt.Fprint* targeting one). Flagging those
+// would bury real findings in noise.
+func neverFails(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg := pass.PkgNameOf(id); pkg != nil && pkg.Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Print", "Printf", "Println":
+				return true
+			case "Fprint", "Fprintf", "Fprintln":
+				if len(call.Args) == 0 {
+					return false
+				}
+				return isInMemoryWriter(pass.Info.Types[call.Args[0]].Type) ||
+					isProcessStream(pass, call.Args[0])
+			}
+			return false
+		}
+	}
+	// Method call: builder/buffer writes never return a non-nil error.
+	if xt, ok := pass.Info.Types[sel.X]; ok && isInMemoryWriter(xt.Type) {
+		return true
+	}
+	return false
+}
+
+// isProcessStream matches the expressions os.Stdout and os.Stderr.
+func isProcessStream(pass *Pass, arg ast.Expr) bool {
+	sel, ok := arg.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg := pass.PkgNameOf(id)
+	return pkg != nil && pkg.Path() == "os" &&
+		(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr")
+}
+
+// isInMemoryWriter matches *strings.Builder and *bytes.Buffer (or
+// their value forms).
+func isInMemoryWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// calleeText renders the called expression ("conn.SetDeadline") for
+// the report.
+func calleeText(fset *token.FileSet, fun ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, fun); err != nil {
+		return "function"
+	}
+	return buf.String()
+}

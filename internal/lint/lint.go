@@ -1,0 +1,258 @@
+// Package lint implements tlcvet, the project-specific static
+// analysis behind the tier-1 verify gate. The repository's results
+// depend on two properties that ordinary review loses as the code
+// grows: byte-exact replay of the emulated testbed (a single stray
+// wall-clock read or global math/rand draw in internal/ breaks
+// determinism) and the nonce/randomness discipline that makes the
+// Proof-of-Charging trustworthy. Each invariant is machine-checked by
+// an Analyzer; `tlcvet ./...` runs them all and exits non-zero on any
+// finding.
+//
+// Analyzers are table-registered in All. A finding is reported as
+// "file:line: [check] message" and can be suppressed for one line with
+// a directive comment on the same line or the line directly above:
+//
+//	conn.SetDeadline(t) //tlcvet:allow simtime — real network deadline
+//
+// The directive names one or more checks (comma separated); anything
+// after the check names is a free-form justification. Suppressions are
+// deliberately per-line so each exemption carries its own paper trail.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// Analyzer is one registered check. Run inspects a type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the check identifier used in reports and in
+	// //tlcvet:allow directives.
+	Name string
+	// Doc is a one-line description shown by `tlcvet -list`.
+	Doc string
+	// Applies filters packages by import path; nil means every
+	// package.
+	Applies func(importPath string) bool
+	// Run reports findings for one package.
+	Run func(*Pass)
+}
+
+// All is the registry of project checks, in report order.
+var All = []*Analyzer{Simtime, SeededRand, CryptoRand, ErrDiscard}
+
+// Select resolves a comma-separated list of check names ("" selects
+// every registered analyzer).
+func Select(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All, nil
+	}
+	byName := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Path is the import path analyzers scope on. Fixture tests load
+	// testdata packages under a synthetic path (e.g. "tlc/internal/poc")
+	// to target a specific analyzer.
+	Path string
+
+	check    string
+	allow    directiveIndex
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos unless an //tlcvet:allow directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.covers(position, p.check) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:     position,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgNameOf resolves the package an identifier qualifies, if the
+// identifier names an import (e.g. the `time` in time.Now). It returns
+// nil for anything else.
+func (p *Pass) PkgNameOf(id *ast.Ident) *types.Package {
+	if obj, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported()
+	}
+	return nil
+}
+
+// directiveIndex maps file -> line -> the set of checks allowed there.
+type directiveIndex map[string]map[int]map[string]bool
+
+// covers reports whether check is allowed at position, honouring a
+// directive on the same line or the line directly above.
+func (d directiveIndex) covers(pos token.Position, check string) bool {
+	lines := d[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][check] || lines[pos.Line-1][check]
+}
+
+const directivePrefix = "//tlcvet:allow"
+
+// parseDirectives indexes every //tlcvet:allow comment in the package.
+func parseDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := make(directiveIndex)
+	for _, file := range files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				checks := lines[pos.Line]
+				if checks == nil {
+					checks = make(map[string]bool)
+					lines[pos.Line] = checks
+				}
+				for _, name := range directiveChecks(rest) {
+					checks[name] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// directiveChecks extracts the check names from the text after the
+// //tlcvet:allow prefix. Names are separated by spaces or commas; the
+// first token that is not a registered check name starts the free-form
+// justification and ends the list. Requiring registered names means a
+// typo ("simtym") suppresses nothing instead of silently allowing.
+func directiveChecks(rest string) []string {
+	var names []string
+	for _, field := range strings.FieldsFunc(rest, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == ','
+	}) {
+		if !isCheckName(field) {
+			break
+		}
+		names = append(names, field)
+	}
+	return names
+}
+
+func isCheckName(s string) bool {
+	for _, a := range All {
+		if a.Name == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies the analyzers to each package and returns the surviving
+// findings sorted by file, line and check.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allow := parseDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+				check:    a.Name,
+				allow:    allow,
+				findings: &findings,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return findings
+}
+
+// Render writes findings as "file:line: [check] message" lines, with
+// filenames shown relative to base when possible.
+func Render(w io.Writer, findings []Finding, base string) {
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		//tlcvet:allow errdiscard — best-effort report printing; a failed write cannot be reported anywhere better
+		fmt.Fprintf(w, "%s:%d: [%s] %s\n", name, f.Pos.Line, f.Check, f.Message)
+	}
+}
+
+// internalPackage reports whether the import path has an "internal"
+// path segment, i.e. the package belongs to the simulation core rather
+// than the CLI/example shell.
+func internalPackage(importPath string) bool {
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report file")
+
+// fixtureLoader is shared across tests: source-importing the standard
+// library is the expensive part of loading, and one loader caches it.
+var fixtureLoader *Loader
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	var err error
+	fixtureLoader, err = NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint_test:", err)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// fixturePath is where a testdata package would live as a real import.
+func fixturePath(name string) string {
+	return "tlc/internal/lint/testdata/" + name
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := fixtureLoader.LoadAs(dir, fixturePath(name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// want is one expectation parsed from a fixture comment of the form
+//
+//	expr // want <check> "<message substring>"
+type want struct {
+	file   string // base name
+	line   int
+	check  string
+	substr string
+}
+
+var wantRe = regexp.MustCompile(`// want ([a-z]+) "([^"]+)"`)
+
+// parseWants collects the expectations of every .go file in dir.
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				wants = append(wants, want{file: e.Name(), line: i + 1, check: m[1], substr: m[2]})
+			}
+		}
+	}
+	return wants
+}
+
+// TestAnalyzers runs each analyzer on its fixture package and checks
+// the findings against the // want annotations: every annotated line
+// must be reported, suppressed and clean files must stay silent.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer *Analyzer
+	}{
+		{"simtime", Simtime},
+		{"seededrand", SeededRand},
+		{"poc", CryptoRand},
+		{"errdiscard", ErrDiscard},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			pkg := loadFixture(t, tc.fixture)
+			if tc.analyzer.Applies != nil && !tc.analyzer.Applies(pkg.Path) {
+				t.Fatalf("%s does not apply to %s", tc.analyzer.Name, pkg.Path)
+			}
+			got := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			unmatched := append([]Finding(nil), got...)
+			for _, w := range parseWants(t, filepath.Join("testdata", tc.fixture)) {
+				found := false
+				for i, f := range unmatched {
+					if filepath.Base(f.Pos.Filename) == w.file && f.Pos.Line == w.line &&
+						f.Check == w.check && strings.Contains(f.Message, w.substr) {
+						unmatched = append(unmatched[:i], unmatched[i+1:]...)
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("missing finding %s:%d [%s] ~%q", w.file, w.line, w.check, w.substr)
+				}
+			}
+			for _, f := range unmatched {
+				t.Errorf("unexpected finding %s:%d: [%s] %s",
+					filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check, f.Message)
+			}
+		})
+	}
+}
+
+// TestReportGolden locks down the "file:line: [check] message" report
+// format over every fixture at once. Regenerate with `go test
+// ./internal/lint -run Golden -update`.
+func TestReportGolden(t *testing.T) {
+	var pkgs []*Package
+	for _, name := range []string{"errdiscard", "poc", "seededrand", "simtime"} {
+		pkgs = append(pkgs, loadFixture(t, name))
+	}
+	findings := Run(pkgs, All)
+	if len(findings) == 0 {
+		t.Fatal("fixtures produced no findings; the verify gate would pass vacuously")
+	}
+	base, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	Render(&b, findings, base)
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), string(data); got != want {
+		t.Errorf("report mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLoadResolvesModulePath checks that plain and recursive patterns
+// map directories to their real module import paths.
+func TestLoadResolvesModulePath(t *testing.T) {
+	pkgs, err := fixtureLoader.Load("./testdata/simtime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != fixturePath("simtime") {
+		t.Fatalf("got %+v, want single package %s", pkgs, fixturePath("simtime"))
+	}
+
+	all, err := fixtureLoader.Load("./testdata/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("recursive load found %d packages, want 4", len(all))
+	}
+	// The acceptance contract: tlcvet must exit non-zero on the
+	// fixtures, i.e. running everything over them finds problems.
+	if findings := Run(all, All); len(findings) == 0 {
+		t.Error("no findings across fixture packages")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(All) {
+		t.Fatalf("Select(\"\") = %v, %v; want all %d analyzers", all, err, len(All))
+	}
+	two, err := Select("simtime, errdiscard")
+	if err != nil || len(two) != 2 || two[0] != Simtime || two[1] != ErrDiscard {
+		t.Fatalf("Select subset = %v, %v", two, err)
+	}
+	if _, err := Select("nope"); err == nil {
+		t.Fatal("Select accepted an unknown check")
+	}
+}
+
+func TestDirectiveChecks(t *testing.T) {
+	cases := []struct {
+		rest string
+		want []string
+	}{
+		{" simtime — real deadline", []string{"simtime"}},
+		{" simtime, errdiscard best effort", []string{"simtime", "errdiscard"}},
+		{" simtime errdiscard", []string{"simtime", "errdiscard"}},
+		{" Simtime is not lower-case", nil},
+		{"", nil},
+	}
+	for _, tc := range cases {
+		got := directiveChecks(tc.rest)
+		if len(got) != len(tc.want) {
+			t.Errorf("directiveChecks(%q) = %v, want %v", tc.rest, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("directiveChecks(%q) = %v, want %v", tc.rest, got, tc.want)
+				break
+			}
+		}
+	}
+}

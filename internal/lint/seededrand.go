@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// seededRandAllowed lists the math/rand selectors that do NOT touch
+// the process-global generator: explicit-source constructors and type
+// names. Everything else (rand.Intn, rand.Float64, rand.Seed, ...)
+// draws from — or reseeds — shared global state, which is both
+// nondeterministic across packages and a data race under -race.
+var seededRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"Rand":       true,
+	"Source":     true,
+	"Source64":   true,
+	"Zipf":       true,
+	"NewPCG":     true, // math/rand/v2
+	"PCG":        true,
+	"NewChaCha8": true,
+	"ChaCha8":    true,
+}
+
+// SeededRand forbids the global math/rand functions in internal/
+// packages. Simulation randomness must flow through sim.RNG (seeded,
+// forkable per component) so experiments replay from a seed; wrapping
+// an explicit seeded source (rand.New(rand.NewSource(seed))) is how
+// sim.RNG itself is built and stays allowed.
+var SeededRand = &Analyzer{
+	Name:    "seededrand",
+	Doc:     "forbid global/unseeded math/rand use in internal/ packages; draw from sim.RNG",
+	Applies: internalPackage,
+	Run:     runSeededRand,
+}
+
+func runSeededRand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg := pass.PkgNameOf(id)
+			if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+				return true
+			}
+			if seededRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s uses the process-global random source; draw from a seeded sim.RNG so runs replay deterministically",
+				pkg.Path(), sel.Sel.Name)
+			return true
+		})
+	}
+}

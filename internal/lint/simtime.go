@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package time entry points that read or wait
+// on the process wall clock. Pure conversions and types
+// (time.Duration, time.Unix, time.Date, ...) are fine: determinism is
+// only lost when real time leaks into simulated control flow.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Simtime forbids wall-clock reads in internal/ simulation code.
+// Every figure in the paper reproduction is regenerated from seeded
+// runs; one time.Now() on a simulated path makes replays diverge.
+// Simulated components must take time from the sim.Scheduler /
+// simclock. Real network deadlines (internal/protocol,
+// internal/transport) are legitimate wall-clock uses and carry a
+// //tlcvet:allow simtime directive with a justification.
+var Simtime = &Analyzer{
+	Name:    "simtime",
+	Doc:     "forbid wall-clock time.Now/Since/Sleep/... in internal/ simulation code; use sim.Time/simclock",
+	Applies: internalPackage,
+	Run:     runSimtime,
+}
+
+func runSimtime(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkg := pass.PkgNameOf(id); pkg == nil || pkg.Path() != "time" {
+				return true
+			}
+			if !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock inside simulation code; take time from sim.Scheduler/simclock so seeded runs replay byte-exactly",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,13 @@
+// Package fixture is the errdiscard positive fixture: the three
+// silent ways to drop an error result.
+package fixture
+
+import "os"
+
+// Cleanup discards errors as a bare statement, a defer and a
+// goroutine.
+func Cleanup() {
+	os.Remove("stale.lock")      // want errdiscard "os.Remove"
+	defer os.Remove("tmp.state") // want errdiscard "deferred"
+	go os.Remove("bg.state")     // want errdiscard "spawned"
+}

@@ -1,0 +1,22 @@
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Report handles or visibly discards every error; none of this may be
+// flagged.
+func Report() (string, error) {
+	if err := os.Remove("state"); err != nil {
+		return "", err
+	}
+	_ = os.Remove("state.bak") // explicit discard is reviewable
+	var b strings.Builder
+	fmt.Fprintf(&b, "removed %d files\n", 2) // strings.Builder never fails
+	b.WriteString("done")
+	fmt.Println("report ready")
+	fmt.Fprintln(os.Stderr, "stderr prints are best-effort by convention")
+	return b.String(), nil
+}

@@ -1,0 +1,10 @@
+package fixture
+
+import "os"
+
+// BestEffort documents its discards with directives, one per style.
+func BestEffort() {
+	os.Remove("cache.tmp") //tlcvet:allow errdiscard — fixture: best-effort cache cleanup
+	//tlcvet:allow errdiscard — fixture: directive on the preceding line
+	os.Remove("cache.bak")
+}

@@ -1,0 +1,19 @@
+// Package fixture is the cryptorand positive fixture: a pretend nonce
+// helper in a crypto-sensitive package (the "poc" path segment puts it
+// in scope) built on predictable randomness and broken digests.
+package fixture
+
+import (
+	"crypto/md5"  // want cryptorand "crypto/md5"
+	"crypto/sha1" // want cryptorand "crypto/sha1"
+	"math/rand"   // want cryptorand "math/rand"
+)
+
+// WeakNonce stacks everything the check forbids.
+func WeakNonce(seed int64) []byte {
+	var b [16]byte
+	_, _ = rand.New(rand.NewSource(seed)).Read(b[:])
+	s := sha1.Sum(b[:])
+	m := md5.Sum(s[:])
+	return m[:]
+}

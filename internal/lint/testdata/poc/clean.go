@@ -1,0 +1,16 @@
+package fixture
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+)
+
+// Nonce draws from the CSPRNG and digests with SHA-256: the approved
+// combination.
+func Nonce() ([32]byte, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(b[:]), nil
+}

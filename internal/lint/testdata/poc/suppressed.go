@@ -1,0 +1,11 @@
+package fixture
+
+import (
+	legacymd5 "crypto/md5" //tlcvet:allow cryptorand — fixture: checksum interop with pre-TLC archives, not key material
+)
+
+// LegacyChecksum digests an archived record with the historical
+// algorithm; no new secret material flows through here.
+func LegacyChecksum(rec []byte) [16]byte {
+	return legacymd5.Sum(rec)
+}

@@ -1,0 +1,20 @@
+// Package fixture is the seededrand positive fixture: draws from the
+// process-global math/rand source.
+package fixture
+
+import "math/rand"
+
+// Jitter draws from the shared global generator.
+func Jitter() float64 {
+	return rand.Float64() // want seededrand "rand.Float64"
+}
+
+// Pick uses the global Intn.
+func Pick(n int) int {
+	return rand.Intn(n) // want seededrand "rand.Intn"
+}
+
+// Reseed reseeds the generator every other package shares.
+func Reseed() {
+	rand.Seed(1) // want seededrand "rand.Seed"
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "math/rand"
+
+// Stream builds an explicitly seeded source — exactly how sim.RNG
+// wraps math/rand, and therefore allowed.
+func Stream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

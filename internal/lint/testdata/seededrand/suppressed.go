@@ -1,0 +1,9 @@
+package fixture
+
+import "math/rand"
+
+// Scramble uses the global source under an explicit waiver.
+func Scramble(xs []int) {
+	//tlcvet:allow seededrand — fixture: one-off helper outside any replayed experiment
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

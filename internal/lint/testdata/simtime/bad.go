@@ -1,0 +1,21 @@
+// Package fixture is the simtime positive fixture: every wall-clock
+// read below must be reported.
+package fixture
+
+import "time"
+
+// Deadline leaks the wall clock into simulated control flow.
+func Deadline() time.Time {
+	return time.Now().Add(time.Second) // want simtime "time.Now"
+}
+
+// Spin waits on real time instead of the event scheduler.
+func Spin() time.Duration {
+	start := time.Now()            // want simtime "time.Now"
+	time.Sleep(time.Millisecond)   // want simtime "time.Sleep"
+	<-time.After(time.Millisecond) // want simtime "time.After"
+	return time.Since(start)       // want simtime "time.Since"
+}
+
+// Clock smuggles the wall-clock reader out as a value (not a call).
+var Clock func() time.Time = time.Now // want simtime "time.Now"

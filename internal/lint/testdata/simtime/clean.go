@@ -1,0 +1,12 @@
+package fixture
+
+import "time"
+
+// Cycle is pure duration arithmetic: no wall-clock read involved.
+const Cycle = time.Hour
+
+// Epoch builds a fixed instant; time.Unix is a conversion, not a
+// clock read.
+func Epoch() time.Time {
+	return time.Unix(0, 0).Add(Cycle)
+}

@@ -1,0 +1,16 @@
+package fixture
+
+import "time"
+
+// RealDeadline is a sanctioned wall-clock read, waived on the same
+// line.
+func RealDeadline() time.Time {
+	return time.Now().Add(time.Minute) //tlcvet:allow simtime — fixture: real network deadline
+}
+
+// RealSleep is a sanctioned wall-clock wait, waived from the line
+// above.
+func RealSleep() {
+	//tlcvet:allow simtime — fixture: throttling a live connection
+	time.Sleep(time.Millisecond)
+}

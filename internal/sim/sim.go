@@ -258,12 +258,12 @@ func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 // Bytes fills b with pseudo-random bytes and never fails. It lets the
 // simulator drive crypto key generation deterministically.
 func (g *RNG) Bytes(b []byte) {
-	g.r.Read(b)
+	_, _ = g.r.Read(b) // rand.Rand.Read is documented to always succeed
 }
 
 // Read implements io.Reader so an RNG can be passed to crypto key
 // generation for reproducible (test-only) keys.
 func (g *RNG) Read(b []byte) (int, error) {
-	g.r.Read(b)
+	_, _ = g.r.Read(b) // rand.Rand.Read is documented to always succeed
 	return len(b), nil
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Tier-1 verify gate. Run from anywhere; every PR must pass this.
+#
+#   build      — everything compiles
+#   vet        — the stock Go checks
+#   tlcvet     — project invariants: sim determinism (simtime,
+#                seededrand), PoC crypto hygiene (cryptorand), error
+#                discipline (errdiscard); see internal/lint
+#   test -race — full test suite under the race detector
+set -eu
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+go run ./cmd/tlcvet ./...
+go test -race ./...
