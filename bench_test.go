@@ -31,39 +31,55 @@ func benchOpt() experiment.Options {
 	}
 }
 
+// benchSerialParallel runs a figure at Workers 0 (sequential) and -1
+// (one worker per CPU) so every sweep-backed figure bench reports
+// both timings; the output is byte-identical at both settings.
+func benchSerialParallel(b *testing.B, run func(experiment.Options) experiment.Result, opt experiment.Options) {
+	b.Helper()
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 0}, {"parallel", -1}} {
+		o := opt
+		o.Workers = mode.workers
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := run(o)
+				if res.Text == "" {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
 // --- One benchmark per table/figure -------------------------------
 
 func BenchmarkHeadlineGaps(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiment.Headline(benchOpt())
-		if res.Text == "" {
-			b.Fatal("empty result")
-		}
-	}
+	benchSerialParallel(b, experiment.Headline, benchOpt())
 }
 
 func BenchmarkFig3CongestionGap(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = experiment.Fig3(benchOpt())
-	}
+	benchSerialParallel(b, experiment.Fig3, benchOpt())
 }
 
 func BenchmarkFig4Intermittent(b *testing.B) {
+	// Fig4 is a single time-series cycle: no sweep to parallelise.
 	for i := 0; i < b.N; i++ {
 		_ = experiment.Fig4(benchOpt())
 	}
 }
 
 func BenchmarkFig11cDataset(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = experiment.Dataset(benchOpt())
-	}
+	benchSerialParallel(b, experiment.Dataset, benchOpt())
 }
 
 func BenchmarkFig12SchemeCDF(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = experiment.Fig12(benchOpt())
-	}
+	// Seeds 3 (the tlcbench default) so at least one figure bench
+	// exercises the multi-repetition grid.
+	opt := benchOpt()
+	opt.Seeds = 3
+	benchSerialParallel(b, experiment.Fig12, opt)
 }
 
 func BenchmarkTable2AverageGap(b *testing.B) {
@@ -83,21 +99,15 @@ func BenchmarkTable2AverageGap(b *testing.B) {
 }
 
 func BenchmarkFig13CongestionRatio(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = experiment.Fig13(benchOpt())
-	}
+	benchSerialParallel(b, experiment.Fig13, benchOpt())
 }
 
 func BenchmarkFig14Disconnectivity(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = experiment.Fig14(benchOpt())
-	}
+	benchSerialParallel(b, experiment.Fig14, benchOpt())
 }
 
 func BenchmarkFig15LossWeight(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = experiment.Fig15(benchOpt())
-	}
+	benchSerialParallel(b, experiment.Fig15, benchOpt())
 }
 
 func BenchmarkFig16aRTT(b *testing.B) {
@@ -121,17 +131,13 @@ func BenchmarkFig17PoCCost(b *testing.B) {
 }
 
 func BenchmarkFig18RecordError(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = experiment.Fig18(experiment.Options{
-			Duration: 20 * time.Second, Seeds: 1, BGLevels: []float64{0, 160},
-		})
-	}
+	benchSerialParallel(b, experiment.Fig18, experiment.Options{
+		Duration: 20 * time.Second, Seeds: 1, BGLevels: []float64{0, 160},
+	})
 }
 
 func BenchmarkAppendixDGenericCharging(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_ = experiment.AppendixD(benchOpt())
-	}
+	benchSerialParallel(b, experiment.AppendixD, benchOpt())
 }
 
 // --- Protocol microbenchmarks --------------------------------------

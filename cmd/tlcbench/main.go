@@ -5,26 +5,64 @@
 //
 //	tlcbench -experiment all
 //	tlcbench -experiment fig12 -duration 60s -seeds 3
+//	tlcbench -experiment fig12,table2 -workers -1 -json bench.json
+//	tlcbench -experiment table2 -cpuprofile cpu.pprof
 //	tlcbench -list
+//
+// -workers fans each experiment's independent testbed cells across a
+// worker pool (0 sequential, -1 one per CPU); the regenerated output
+// is byte-identical at every setting. -json writes a machine-readable
+// report (per-experiment wall time, worker count and domain metrics)
+// to the given path, or to stdout when the path is "-", establishing
+// the BENCH_*.json perf trajectory tracked in the repo.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"tlc/internal/experiment"
 )
 
+// jsonReport is the -json document.
+type jsonReport struct {
+	// GoMaxProcs and Workers record the parallelism the run used.
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	// DurationSec and Seeds echo the sweep size.
+	DurationSec float64          `json:"duration_sec"`
+	Seeds       int              `json:"seeds"`
+	Experiments []jsonExperiment `json:"experiments"`
+	TotalMS     float64          `json:"total_ms"`
+}
+
+// jsonExperiment is one experiment's entry.
+type jsonExperiment struct {
+	ID     string             `json:"id"`
+	Title  string             `json:"title"`
+	WallMS float64            `json:"wall_ms"`
+	// Metrics are the experiment's domain numbers (gap ratios, ε
+	// means, negotiation rounds, …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "experiment id or 'all'")
-		duration = flag.Duration("duration", 60*time.Second, "charging cycle length per run")
-		seeds    = flag.Int("seeds", 3, "repetitions per grid point")
-		quick    = flag.Bool("quick", false, "small configuration for smoke runs")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("experiment", "all", "experiment id, comma list, or 'all'")
+		duration   = flag.Duration("duration", 60*time.Second, "charging cycle length per run")
+		seeds      = flag.Int("seeds", 3, "repetitions per grid point")
+		workers    = flag.Int("workers", 0, "sweep worker pool: 0 sequential, -1 one per CPU, n>0 exactly n")
+		quick      = flag.Bool("quick", false, "small configuration for smoke runs")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jsonPath   = flag.String("json", "", "write a JSON report to this path ('-' for stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 
@@ -37,25 +75,89 @@ func main() {
 	if *quick {
 		opt = experiment.Quick()
 	}
+	opt.Workers = *workers
 
-	run := func(id string) {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("create %s: %v", *cpuProfile, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("start CPU profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", *cpuProfile, err)
+			}
+		}()
+	}
+
+	ids := experiment.IDs
+	if *exp != "all" {
+		ids = nil
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	report := jsonReport{
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     *workers,
+		DurationSec: opt.Duration.Seconds(),
+		Seeds:       opt.Seeds,
+	}
+	quiet := *jsonPath == "-"
+	for _, id := range ids {
 		f, ok := experiment.ByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tlcbench: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+			fatalf("unknown experiment %q (use -list)", id)
 		}
 		start := time.Now()
 		res := f(opt)
-		fmt.Printf("== %s — %s ==\n%s(elapsed %v)\n\n", res.ID, res.Title, res.Text, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		if !quiet {
+			fmt.Printf("== %s — %s ==\n%s(elapsed %v)\n\n", res.ID, res.Title, res.Text, wall.Round(time.Millisecond))
+		}
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: res.ID, Title: res.Title,
+			WallMS:  float64(wall.Microseconds()) / 1e3,
+			Metrics: res.Metrics,
+		})
+		report.TotalMS += float64(wall.Microseconds()) / 1e3
 	}
 
-	if *exp == "all" {
-		for _, id := range experiment.IDs {
-			run(id)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("create %s: %v", *memProfile, err)
 		}
-		return
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("write heap profile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("close %s: %v", *memProfile, err)
+		}
 	}
-	for _, id := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(id))
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("marshal report: %v", err)
+		}
+		data = append(data, '\n')
+		if quiet {
+			if _, err := os.Stdout.Write(data); err != nil {
+				fatalf("write report: %v", err)
+			}
+		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fatalf("write %s: %v", *jsonPath, err)
+		}
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tlcbench: "+format+"\n", args...)
+	os.Exit(2)
 }

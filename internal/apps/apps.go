@@ -133,10 +133,15 @@ type Streamer struct {
 	// network; the edge vendor's sender-side monitor taps here.
 	OnEmit func(*netem.Packet)
 
+	// Pool optionally recycles emitted packets; the testbed wires
+	// the same pool into the terminal sinks and drop sites.
+	Pool *netem.PacketPool
+
 	stopped     bool
 	frameCount  uint64
 	sentPackets uint64
 	sentBytes   uint64
+	emitFn      func() // bound frame/packet emitter, allocated once
 }
 
 // NewStreamer builds a streamer for the profile.
@@ -147,10 +152,11 @@ func NewStreamer(p Profile, sched *sim.Scheduler, ids *netem.IDGen, dst netem.No
 // Start begins emission at the given simulated time.
 func (s *Streamer) Start(at sim.Time) {
 	if s.Profile.PacketMode {
-		s.Sched.At(at, s.emitPacket)
-		return
+		s.emitFn = s.emitPacket
+	} else {
+		s.emitFn = s.emitFrame
 	}
-	s.Sched.At(at, s.emitFrame)
+	s.Sched.AtPooled(at, s.emitFn)
 }
 
 // Stop halts emission.
@@ -167,15 +173,14 @@ func (s *Streamer) SentBytes() uint64 { return s.sentBytes }
 func (s *Streamer) Frames() uint64 { return s.frameCount }
 
 func (s *Streamer) send(size int) {
-	pkt := &netem.Packet{
-		ID:   s.IDs.Next(),
-		Flow: s.Flow,
-		IMSI: s.IMSI,
-		QCI:  s.Profile.QCI,
-		Size: size,
-		Dir:  s.Profile.Dir,
-		Sent: s.Sched.Now(),
-	}
+	pkt := s.Pool.Get()
+	pkt.ID = s.IDs.Next()
+	pkt.Flow = s.Flow
+	pkt.IMSI = s.IMSI
+	pkt.QCI = s.Profile.QCI
+	pkt.Size = size
+	pkt.Dir = s.Profile.Dir
+	pkt.Sent = s.Sched.Now()
 	s.sentPackets++
 	s.sentBytes += uint64(size)
 	if s.OnEmit != nil {
@@ -228,7 +233,7 @@ func (s *Streamer) emitFrame() {
 		size -= chunk
 	}
 	gap := time.Duration(float64(time.Second) / s.Profile.FPS)
-	s.Sched.After(gap, s.emitFrame)
+	s.Sched.AfterPooled(gap, s.emitFn)
 }
 
 func (s *Streamer) emitPacket() {
@@ -243,5 +248,5 @@ func (s *Streamer) emitPacket() {
 		// Game ticks are quasi-periodic; add light jitter.
 		gap = time.Duration(float64(mean) * (1 + s.RNG.Uniform(-0.2, 0.2)))
 	}
-	s.Sched.After(gap, s.emitPacket)
+	s.Sched.AfterPooled(gap, s.emitFn)
 }

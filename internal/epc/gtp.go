@@ -152,6 +152,9 @@ type GTPDecap struct {
 	Bearers *BearerTable
 	Next    netem.Node
 
+	// Pool optionally recycles packets dropped for an unknown TEID.
+	Pool *netem.PacketPool
+
 	Decapsulated uint64
 	UnknownTEID  uint64
 }
@@ -162,6 +165,7 @@ func (g *GTPDecap) Recv(p *netem.Packet) {
 		info, ok := g.Bearers.Resolve(p.TEID)
 		if !ok {
 			g.UnknownTEID++
+			g.Pool.Put(p)
 			return
 		}
 		p.IMSI = info.IMSI

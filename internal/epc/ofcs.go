@@ -31,9 +31,15 @@ type Usage struct {
 // Total returns UL+DL bytes.
 func (u *Usage) Total() uint64 { return u.UL + u.DL }
 
-// NewOFCS returns an empty charging system.
+// NewOFCS returns an empty charging system. The CDR slice is
+// pre-sized for a typical cycle (one record per second per session)
+// so steady-state collection appends without reallocating.
 func NewOFCS() *OFCS {
-	return &OFCS{usage: make(map[string]*Usage), exceeded: make(map[string]bool)}
+	return &OFCS{
+		cdrs:     make([]*CDR, 0, 128),
+		usage:    make(map[string]*Usage),
+		exceeded: make(map[string]bool),
+	}
 }
 
 // SetPlan installs the data plan whose quota the OFCS enforces.

@@ -52,9 +52,38 @@ type SPGW struct {
 	// OFCS receives emitted CDRs.
 	OFCS *OFCS
 
+	// Pool optionally recycles downlink packets discarded while the
+	// subscriber is detached (the one drop site inside the gateway).
+	Pool *netem.PacketPool
+
+	// MeterHorizon, when positive, pre-sizes each session meter's
+	// bin series for a cycle of that length so steady-state metering
+	// does not grow slices; the testbed sets it to the cycle length.
+	MeterHorizon time.Duration
+
 	sessions map[string]*gwSession
 	nextID   uint32
 	started  bool
+
+	// cdrArena allocates CDRs in fixed-capacity blocks. Emitting one
+	// record per second per session makes *CDR the gateway's hottest
+	// allocation; blocks amortise it ~64× while keeping the pointers
+	// the OFCS retains stable (a full block is never reallocated,
+	// a fresh one is started instead).
+	cdrArena []CDR
+}
+
+// cdrArenaBlock is the arena block capacity.
+const cdrArenaBlock = 64
+
+// newCDR returns a pointer into the arena, valid for the lifetime of
+// the gateway.
+func (g *SPGW) newCDR(c CDR) *CDR {
+	if len(g.cdrArena) == cap(g.cdrArena) {
+		g.cdrArena = make([]CDR, 0, cdrArenaBlock)
+	}
+	g.cdrArena = append(g.cdrArena, c)
+	return &g.cdrArena[len(g.cdrArena)-1]
 }
 
 // NewSPGW returns a gateway wired to the given control-plane
@@ -79,6 +108,10 @@ func (g *SPGW) session(imsi string) *gwSession {
 			chargingID: g.nextID - 1,
 			ulMeter:    netem.NewMeter("spgw-ul-"+imsi, g.Sched, nil),
 			dlMeter:    netem.NewMeter("spgw-dl-"+imsi, g.Sched, nil),
+		}
+		if g.MeterHorizon > 0 {
+			s.ulMeter.Reserve(g.MeterHorizon)
+			s.dlMeter.Reserve(g.MeterHorizon)
 		}
 		g.sessions[imsi] = s
 	}
@@ -106,7 +139,7 @@ func (g *SPGW) FlushCDRs(now sim.Time) {
 		if ul == s.lastCDRUL && dl == s.lastCDRDL {
 			continue
 		}
-		cdr := &CDR{
+		cdr := g.newCDR(CDR{
 			ServedIMSI:         FormatIMSITrace(s.imsi),
 			GatewayAddress:     g.Address,
 			ChargingID:         s.chargingID,
@@ -116,7 +149,7 @@ func (g *SPGW) FlushCDRs(now sim.Time) {
 			TimeUsage:          int64((s.lastUsage - s.firstUsage) / time.Second),
 			DataVolumeUplink:   ul - s.lastCDRUL,
 			DataVolumeDownlink: dl - s.lastCDRDL,
-		}
+		})
 		s.seq++
 		s.lastCDRUL, s.lastCDRDL = ul, dl
 		g.OFCS.Collect(cdr)
@@ -161,6 +194,7 @@ func (g *SPGW) DLNode() netem.Node {
 			if g.MME != nil && !g.MME.Attached(p.IMSI) {
 				s.droppedDetachedPkts++
 				s.droppedDetachedBytes += uint64(p.Size)
+				g.Pool.Put(p)
 				return
 			}
 			s.dlMeter.Recv(p)

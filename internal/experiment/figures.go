@@ -27,6 +27,11 @@ type Options struct {
 	// clock — the one sanctioned wall-clock use in this package — and
 	// tests inject a fake so regenerated figures stay byte-identical.
 	Stopwatch Stopwatch
+	// Workers fans the sweep's independent cells across a worker
+	// pool: 0 runs sequentially, a negative value uses one worker per
+	// CPU, any other value that many goroutines. Output is
+	// byte-identical at every setting (see sweep.go).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +60,10 @@ type Result struct {
 	ID    string
 	Title string
 	Text  string
+	// Metrics carries the experiment's headline domain numbers in
+	// machine-readable form (gap ratios, ε means, negotiation
+	// rounds, …) for tlcbench's JSON output and perf tracking.
+	Metrics map[string]float64
 }
 
 // fig3Apps are the three workloads of Figure 3 (gaming joins for
@@ -73,15 +82,23 @@ func legacyGapBytes(r *CycleResult) float64 {
 // connectivity.
 func Headline(opt Options) Result {
 	opt = opt.withDefaults()
+	// Cells 2i / 2i+1 are workload i's good-radio and stressed runs.
+	cfgs := make([]Config, 0, 2*len(fig3Apps))
+	for i, app := range fig3Apps {
+		cfgs = append(cfgs,
+			Config{App: app, Seed: int64(100 + i), C: 0.5, Duration: opt.Duration},
+			Config{
+				App: app, Seed: int64(200 + i), C: 0.5, Duration: opt.Duration,
+				BackgroundMbps: 160,
+				RSS:            RSSSpec{Base: -90, MeanGap: 20 * time.Second, MeanOutage: 2 * time.Second},
+			})
+	}
+	runs := runCells(opt, cfgs)
 	var b strings.Builder
+	metrics := map[string]float64{}
 	fmt.Fprintf(&b, "%-16s %14s %14s %14s\n", "workload", "good (MB/hr)", "gap ratio", "stressed (MB/hr)")
 	for i, app := range fig3Apps {
-		good := NewTestbed(Config{App: app, Seed: int64(100 + i), C: 0.5, Duration: opt.Duration}).Run()
-		stressed := NewTestbed(Config{
-			App: app, Seed: int64(200 + i), C: 0.5, Duration: opt.Duration,
-			BackgroundMbps: 160,
-			RSS:            RSSSpec{Base: -90, MeanGap: 20 * time.Second, MeanOutage: 2 * time.Second},
-		}).Run()
+		good, stressed := runs[2*i], runs[2*i+1]
 		gGood, gBad := legacyGapBytes(good), legacyGapBytes(stressed)
 		ratio := 0.0
 		if good.XHat > 0 {
@@ -89,34 +106,52 @@ func Headline(opt Options) Result {
 		}
 		fmt.Fprintf(&b, "%-16s %14.2f %13.1f%% %14.2f\n",
 			app.Name, good.PerHour(gGood), ratio*100, stressed.PerHour(gBad))
+		metrics["gap_good_mbhr_"+app.Name] = good.PerHour(gGood)
+		metrics["gap_ratio_"+app.Name] = ratio
+		metrics["gap_stressed_mbhr_"+app.Name] = stressed.PerHour(gBad)
 	}
-	return Result{ID: "headline", Title: "§3.2 headline charging gaps (paper: 8.28/59.04/80.64 MB/hr good; 98/252/983 stressed)", Text: b.String()}
+	return Result{ID: "headline", Title: "§3.2 headline charging gaps (paper: 8.28/59.04/80.64 MB/hr good; 98/252/983 stressed)", Text: b.String(), Metrics: metrics}
 }
 
 // Fig3 reproduces Figure 3: the per-hour charging gap versus
 // background traffic for the three streaming workloads.
 func Fig3(opt Options) Result {
 	opt = opt.withDefaults()
-	series := make([]*stats.Series, len(fig3Apps))
+	// Cell (i, bi, seed) at index (i*len(BGLevels)+bi)*Seeds+seed.
+	var cfgs []Config
 	for i, app := range fig3Apps {
-		s := &stats.Series{Name: app.Name}
 		for _, bg := range opt.BGLevels {
-			var sum float64
 			for seed := 0; seed < opt.Seeds; seed++ {
-				r := NewTestbed(Config{
+				cfgs = append(cfgs, Config{
 					App: app, Seed: int64(300 + i*31 + seed), C: 0.5,
 					Duration: opt.Duration, BackgroundMbps: bg,
-				}).Run()
+				})
+			}
+		}
+	}
+	runs := runCells(opt, cfgs)
+	series := make([]*stats.Series, len(fig3Apps))
+	metrics := map[string]float64{}
+	var gapSum float64
+	for i, app := range fig3Apps {
+		s := &stats.Series{Name: app.Name}
+		for bi, bg := range opt.BGLevels {
+			var sum float64
+			for seed := 0; seed < opt.Seeds; seed++ {
+				r := runs[(i*len(opt.BGLevels)+bi)*opt.Seeds+seed]
 				sum += r.PerHour(legacyGapBytes(r))
 			}
 			s.AddPoint(bg, sum/float64(opt.Seeds))
+			gapSum += sum / float64(opt.Seeds)
 		}
 		series[i] = s
 	}
+	metrics["gap_mbhr_mean"] = gapSum / float64(len(fig3Apps)*len(opt.BGLevels))
 	return Result{
-		ID:    "fig3",
-		Title: "Figure 3: charging gap (MB/hr) vs background traffic (Mbps)",
-		Text:  stats.Table("bg-Mbps", opt.BGLevels, series...),
+		ID:      "fig3",
+		Title:   "Figure 3: charging gap (MB/hr) vs background traffic (Mbps)",
+		Text:    stats.Table("bg-Mbps", opt.BGLevels, series...),
+		Metrics: metrics,
 	}
 }
 
@@ -168,30 +203,48 @@ func Fig4(opt Options) Result {
 	}
 	fmt.Fprintf(&b, "total gap %.2f MB over %v (eta=%.1f%%, detach-drops %.2f MB)\n",
 		(r.LegacyCharge-r.Truth.Received)/1e6, dur, r.Eta*100, float64(r.DetachedDrops)/1e6)
-	return Result{ID: "fig4", Title: "Figure 4: intermittent connectivity time series (paper: 10.6MB gap / 300s)", Text: b.String()}
+	metrics := map[string]float64{
+		"gap_mb":  (r.LegacyCharge - r.Truth.Received) / 1e6,
+		"eta_pct": r.Eta * 100,
+	}
+	return Result{ID: "fig4", Title: "Figure 4: intermittent connectivity time series (paper: 10.6MB gap / 300s)", Text: b.String(), Metrics: metrics}
 }
 
 // Dataset reproduces Figure 11c: the experimental dataset size.
 func Dataset(opt Options) Result {
 	opt = opt.withDefaults()
+	// Cell (i, seed, bi) at index (i*Seeds+seed)*len(BGLevels)+bi.
+	var cfgs []Config
+	for i, app := range apps.Workloads {
+		for seed := 0; seed < opt.Seeds; seed++ {
+			for _, bg := range opt.BGLevels {
+				cfgs = append(cfgs, Config{
+					App: app, Seed: int64(500 + i*17 + seed), C: 0.5,
+					Duration: opt.Duration, BackgroundMbps: bg,
+				})
+			}
+		}
+	}
+	runs := runCells(opt, cfgs)
 	var b strings.Builder
+	metrics := map[string]float64{}
+	var totalCDRs int
 	fmt.Fprintf(&b, "%-16s %14s %18s\n", "workload", "#CDRs", "charged volume")
 	for i, app := range apps.Workloads {
 		var cdrs int
 		var vol float64
 		for seed := 0; seed < opt.Seeds; seed++ {
-			for _, bg := range opt.BGLevels {
-				r := NewTestbed(Config{
-					App: app, Seed: int64(500 + i*17 + seed), C: 0.5,
-					Duration: opt.Duration, BackgroundMbps: bg,
-				}).Run()
+			for bi := range opt.BGLevels {
+				r := runs[(i*opt.Seeds+seed)*len(opt.BGLevels)+bi]
 				cdrs += r.CDRCount
 				vol += r.LegacyCharge
 			}
 		}
+		totalCDRs += cdrs
 		fmt.Fprintf(&b, "%-16s %14d %15.1f MB\n", app.Name, cdrs, vol/1e6)
 	}
-	return Result{ID: "dataset", Title: "Figure 11c: dataset (paper: 914,565 / 58,903 / 31,448 CDRs)", Text: b.String()}
+	metrics["cdrs_total"] = float64(totalCDRs)
+	return Result{ID: "dataset", Title: "Figure 11c: dataset (paper: 914,565 / 58,903 / 31,448 CDRs)", Text: b.String(), Metrics: metrics}
 }
 
 // sweepCell is one grid point of the standard §7.1 sweep.
@@ -201,27 +254,30 @@ type sweepCell struct {
 }
 
 // standardSweep runs the §7.1 evaluation grid for one app at a given
-// c: background levels × intermittency × seeds.
+// c: background levels × intermittency × seeds. Each grid point's
+// seed is a function of its (seed, bg, rss) coordinates only, so the
+// parallel fan-out is byte-identical to the sequential order.
 func standardSweep(app apps.Profile, c float64, opt Options, baseSeed int64) []sweepCell {
-	var cells []sweepCell
 	rssSpecs := []RSSSpec{
 		{},           // good radio
 		{Base: -112}, // cell edge: MCS adaptation throttles the UE (paper sweeps RSS to -120dBm)
 		{Base: -90, MeanGap: 20 * time.Second, MeanOutage: 2 * time.Second}, // intermittent
 	}
+	var cfgs []Config
 	for seed := 0; seed < opt.Seeds; seed++ {
 		for bi, bg := range opt.BGLevels {
 			for ri, rss := range rssSpecs {
-				s := baseSeed + int64(seed*1000+bi*100+ri*7)
-				r := NewTestbed(Config{
-					App: app, Seed: s, C: c,
+				cfgs = append(cfgs, Config{
+					App: app, Seed: baseSeed + int64(seed*1000+bi*100+ri*7), C: c,
 					Duration: opt.Duration, BackgroundMbps: bg, RSS: rss,
-				}).Run()
-				cells = append(cells, sweepCell{r: r, res: EvaluateAll(r, s+1)})
+				})
 			}
 		}
 	}
-	return cells
+	return Sweep(cfgs, opt.Workers, func(cfg Config) sweepCell {
+		r := NewTestbed(cfg).Run()
+		return sweepCell{r: r, res: EvaluateAll(r, cfg.Seed+1)}
+	})
 }
 
 // Fig12 reproduces Figure 12: the CDF of the per-hour charging gap
@@ -229,6 +285,11 @@ func standardSweep(app apps.Profile, c float64, opt Options, baseSeed int64) []s
 func Fig12(opt Options) Result {
 	opt = opt.withDefaults()
 	var b strings.Builder
+	metrics := map[string]float64{}
+	all := map[string]*stats.Sample{}
+	for _, scheme := range Schemes {
+		all[scheme] = stats.NewSample()
+	}
 	for i, app := range apps.Workloads {
 		cells := standardSweep(app, 0.5, opt, int64(1200+100*i))
 		fmt.Fprintf(&b, "-- %s --\n", app.Name)
@@ -236,11 +297,15 @@ func Fig12(opt Options) Result {
 			s := stats.NewSample()
 			for _, cell := range cells {
 				s.Add(cell.r.PerHour(cell.res[scheme].Delta))
+				all[scheme].Add(cell.r.PerHour(cell.res[scheme].Delta))
 			}
 			b.WriteString(stats.RenderCDF(scheme+" gap/hr (MB)", s, 4))
 		}
 	}
-	return Result{ID: "fig12", Title: "Figure 12: charging gap CDFs per scheme (c=0.5)", Text: b.String()}
+	for _, scheme := range Schemes {
+		metrics["delta_mbhr_mean_"+scheme] = all[scheme].Mean()
+	}
+	return Result{ID: "fig12", Title: "Figure 12: charging gap CDFs per scheme (c=0.5)", Text: b.String(), Metrics: metrics}
 }
 
 // Table2 reproduces Table 2: average bitrate, absolute gap Δ and
@@ -250,6 +315,11 @@ func Table2(opt Options) Result {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %10s | %12s %7s | %12s %7s | %12s %7s\n",
 		"workload", "Mbps", "legacy Δ/hr", "ε", "optimal Δ/hr", "ε", "random Δ/hr", "ε")
+	metrics := map[string]float64{}
+	overall := map[string]*stats.Sample{}
+	for _, scheme := range Schemes {
+		overall[scheme] = stats.NewSample()
+	}
 	for i, app := range apps.Workloads {
 		cells := standardSweep(app, 0.5, opt, int64(2200+100*i))
 		var bitrate float64
@@ -264,6 +334,7 @@ func Table2(opt Options) Result {
 			for _, scheme := range Schemes {
 				deltas[scheme].Add(cell.r.PerHour(cell.res[scheme].Delta))
 				epsilons[scheme].Add(cell.res[scheme].Epsilon)
+				overall[scheme].Add(cell.res[scheme].Epsilon)
 			}
 		}
 		bitrate /= float64(len(cells))
@@ -273,40 +344,67 @@ func Table2(opt Options) Result {
 			deltas[SchemeOptimal].Mean(), epsilons[SchemeOptimal].Mean()*100,
 			deltas[SchemeRandom].Mean(), epsilons[SchemeRandom].Mean()*100)
 	}
+	for _, scheme := range Schemes {
+		metrics["eps_mean_"+scheme] = overall[scheme].Mean()
+	}
 	b.WriteString("(paper: legacy ε 17.0/8.1/21.9/3.2% vs optimal 2.2/2.0/1.8/1.6%)\n")
-	return Result{ID: "table2", Title: "Table 2: average charging gap (c=0.5)", Text: b.String()}
+	return Result{ID: "table2", Title: "Table 2: average charging gap (c=0.5)", Text: b.String(), Metrics: metrics}
 }
 
 // Fig13 reproduces Figure 13: the relative gap ratio ε versus
 // background traffic per scheme for each workload.
 func Fig13(opt Options) Result {
 	opt = opt.withDefaults()
+	// Cell (i, bi, seed) at index (i*len(BGLevels)+bi)*Seeds+seed;
+	// each cell evaluates every scheme on its own cycle.
+	var cfgs []Config
+	for i, app := range apps.Workloads {
+		for _, bg := range opt.BGLevels {
+			for seed := 0; seed < opt.Seeds; seed++ {
+				cfgs = append(cfgs, Config{
+					App: app, Seed: int64(3300 + 100*i + seed), C: 0.5,
+					Duration: opt.Duration, BackgroundMbps: bg,
+				})
+			}
+		}
+	}
+	cells := Sweep(cfgs, opt.Workers, func(cfg Config) map[string]float64 {
+		r := NewTestbed(cfg).Run()
+		eps := make(map[string]float64, len(Schemes))
+		for _, scheme := range Schemes {
+			eps[scheme] = Evaluate(r, scheme, cfg.Seed+1).Epsilon
+		}
+		return eps
+	})
 	var b strings.Builder
+	metrics := map[string]float64{}
+	epsTotals := map[string]float64{}
 	for i, app := range apps.Workloads {
 		fmt.Fprintf(&b, "-- %s --\n", app.Name)
 		series := make([]*stats.Series, len(Schemes))
 		for si, scheme := range Schemes {
 			series[si] = &stats.Series{Name: scheme}
 		}
-		for _, bg := range opt.BGLevels {
+		for bi, bg := range opt.BGLevels {
 			sums := map[string]float64{}
 			for seed := 0; seed < opt.Seeds; seed++ {
-				s := int64(3300 + 100*i + seed)
-				r := NewTestbed(Config{
-					App: app, Seed: s, C: 0.5,
-					Duration: opt.Duration, BackgroundMbps: bg,
-				}).Run()
+				eps := cells[(i*len(opt.BGLevels)+bi)*opt.Seeds+seed]
 				for _, scheme := range Schemes {
-					sums[scheme] += Evaluate(r, scheme, s+1).Epsilon
+					sums[scheme] += eps[scheme]
 				}
 			}
 			for si, scheme := range Schemes {
 				series[si].AddPoint(bg, sums[scheme]/float64(opt.Seeds)*100)
+				epsTotals[scheme] += sums[scheme] / float64(opt.Seeds)
 			}
 		}
 		b.WriteString(stats.Table("bg-Mbps", opt.BGLevels, series...))
 	}
-	return Result{ID: "fig13", Title: "Figure 13: gap ratio (%) vs background traffic", Text: b.String()}
+	n := float64(len(apps.Workloads) * len(opt.BGLevels))
+	for _, scheme := range Schemes {
+		metrics["eps_mean_"+scheme] = epsTotals[scheme] / n
+	}
+	return Result{ID: "fig13", Title: "Figure 13: gap ratio (%) vs background traffic", Text: b.String(), Metrics: metrics}
 }
 
 // Fig14 reproduces Figure 14: the gap ratio versus the intermittent
@@ -328,21 +426,39 @@ func Fig14(opt Options) Result {
 		eta  float64
 		vals map[string]float64
 	}
-	var rows []row
 	// Intermittency realisations are noisy; run extra repetitions.
+	// Cell (gi, seed) at index gi*reps+seed.
 	reps := opt.Seeds * 6
+	var cfgs []Config
 	for gi, gap := range gaps {
+		for seed := 0; seed < reps; seed++ {
+			cfgs = append(cfgs, Config{
+				App: app, Seed: int64(4400 + 10*gi + seed), C: 0.5, Duration: opt.Duration,
+				RSS: RSSSpec{Base: -90, MeanGap: gap, MeanOutage: 1930 * time.Millisecond},
+			})
+		}
+	}
+	type cellOut struct {
+		eta float64
+		eps map[string]float64
+	}
+	cells := Sweep(cfgs, opt.Workers, func(cfg Config) cellOut {
+		r := NewTestbed(cfg).Run()
+		out := cellOut{eta: r.Eta, eps: make(map[string]float64, len(Schemes))}
+		for _, scheme := range Schemes {
+			out.eps[scheme] = Evaluate(r, scheme, cfg.Seed+1).Epsilon
+		}
+		return out
+	})
+	var rows []row
+	for gi := range gaps {
 		sums := map[string]float64{}
 		var etaSum float64
 		for seed := 0; seed < reps; seed++ {
-			s := int64(4400 + 10*gi + seed)
-			r := NewTestbed(Config{
-				App: app, Seed: s, C: 0.5, Duration: opt.Duration,
-				RSS: RSSSpec{Base: -90, MeanGap: gap, MeanOutage: 1930 * time.Millisecond},
-			}).Run()
-			etaSum += r.Eta
+			cell := cells[gi*reps+seed]
+			etaSum += cell.eta
 			for _, scheme := range Schemes {
-				sums[scheme] += Evaluate(r, scheme, s+1).Epsilon
+				sums[scheme] += cell.eps[scheme]
 			}
 		}
 		rw := row{eta: etaSum / float64(reps) * 100, vals: map[string]float64{}}
@@ -353,16 +469,19 @@ func Fig14(opt Options) Result {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].eta < rows[j].eta })
 	var etas []float64
+	metrics := map[string]float64{}
 	for _, rw := range rows {
 		etas = append(etas, rw.eta)
 		for si, scheme := range Schemes {
 			series[si].AddPoint(rw.eta, rw.vals[scheme])
+			metrics["eps_pct_mean_"+scheme] += rw.vals[scheme] / float64(len(rows))
 		}
 	}
 	return Result{
-		ID:    "fig14",
-		Title: "Figure 14: gap ratio (%) vs intermittent disconnectivity ratio η (%)",
-		Text:  stats.Table("eta-%", etas, series...),
+		ID:      "fig14",
+		Title:   "Figure 14: gap ratio (%) vs intermittent disconnectivity ratio η (%)",
+		Text:    stats.Table("eta-%", etas, series...),
+		Metrics: metrics,
 	}
 }
 
@@ -371,6 +490,7 @@ func Fig14(opt Options) Result {
 func Fig15(opt Options) Result {
 	opt = opt.withDefaults()
 	var b strings.Builder
+	metrics := map[string]float64{}
 	for _, c := range []float64{0, 0.25, 0.5, 0.75, 1} {
 		sample := stats.NewSample()
 		cells := standardSweep(apps.VRidgeGVSP, c, opt, int64(5500+int(c*100)))
@@ -379,8 +499,9 @@ func Fig15(opt Options) Result {
 			tlc := cell.res[SchemeOptimal]
 			sample.Add(GapReduction(leg.X, tlc.X) * 100)
 		}
+		metrics[fmt.Sprintf("mu_pct_mean_c%.2f", c)] = sample.Mean()
 		b.WriteString(stats.RenderCDF(fmt.Sprintf("c=%.2f  µ (%%)", c), sample, 4))
 	}
 	b.WriteString("(paper: smaller c ⇒ larger reduction; c=1 ⇒ TLC equals honest legacy)\n")
-	return Result{ID: "fig15", Title: "Figure 15: TLC-optimal gap reduction under various plans c", Text: b.String()}
+	return Result{ID: "fig15", Title: "Figure 15: TLC-optimal gap reduction under various plans c", Text: b.String(), Metrics: metrics}
 }

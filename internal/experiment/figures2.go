@@ -50,14 +50,21 @@ func Fig16a(opt Options) Result {
 // TLC-optimal (always 1) and TLC-random (a few).
 func Fig16b(opt Options) Result {
 	opt = opt.withDefaults()
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %12s %12s\n", "workload", "TLC-random", "TLC-optimal")
+	// One congested cycle per workload provides the usage views.
+	cfgs := make([]Config, len(apps.Workloads))
 	for i, app := range apps.Workloads {
-		// One congested cycle provides the usage views...
-		r := NewTestbed(Config{
+		cfgs[i] = Config{
 			App: app, Seed: int64(1600 + i), C: 0.5,
 			Duration: opt.Duration, BackgroundMbps: 100,
-		}).Run()
+		}
+	}
+	runs := runCells(opt, cfgs)
+	var b strings.Builder
+	metrics := map[string]float64{}
+	var roundSum float64
+	fmt.Fprintf(&b, "%-16s %12s %12s\n", "workload", "TLC-random", "TLC-optimal")
+	for i, app := range apps.Workloads {
+		r := runs[i]
 		// ...then each strategy renegotiates it many times.
 		rounds := func(scheme string) float64 {
 			total := 0
@@ -68,10 +75,15 @@ func Fig16b(opt Options) Result {
 			}
 			return float64(total) / n
 		}
-		fmt.Fprintf(&b, "%-16s %12.1f %12d\n", app.Name, rounds(SchemeRandom), 1)
+		rr := rounds(SchemeRandom)
+		roundSum += rr
+		metrics["rounds_random_"+app.Name] = rr
+		fmt.Fprintf(&b, "%-16s %12.1f %12d\n", app.Name, rr, 1)
 	}
+	metrics["rounds_random_mean"] = roundSum / float64(len(apps.Workloads))
+	metrics["rounds_optimal"] = 1
 	b.WriteString("(paper: random 3.5/2.7/2.7/4.6 rounds; optimal always 1)\n")
-	return Result{ID: "fig16b", Title: "Figure 16b: negotiation rounds after the charging cycle", Text: b.String()}
+	return Result{ID: "fig16b", Title: "Figure 16b: negotiation rounds after the charging cycle", Text: b.String(), Metrics: metrics}
 }
 
 // Fig17 reproduces Figure 17: PoC negotiation and verification
@@ -132,6 +144,11 @@ func Fig17(opt Options) Result {
 	fmt.Fprintf(&b, "%-16s %18.2f %18.2f  (measured, RSA-%d)\n", "this-host",
 		negReal.Seconds()*1e3, verReal.Seconds()*1e3, poc.DefaultKeyBits)
 	fmt.Fprintf(&b, "verifier throughput on this host: %.0fK PoCs/hour (paper: 230K on a Z840)\n", perHour/1e3)
+	metrics := map[string]float64{
+		"neg_ms_this_host":    negReal.Seconds() * 1e3,
+		"verify_ms_this_host": verReal.Seconds() * 1e3,
+		"pocs_per_hour":       perHour,
+	}
 
 	// Message sizes.
 	cdr, _ := poc.BuildCDR(plan, poc.RoleOperator, 0, 1000000, keyRNG, opKeys.Private)
@@ -145,7 +162,7 @@ func Fig17(opt Options) Result {
 	fmt.Fprintf(&b, "%-12s %8d %8d\n", "TLC CDA", len(d2), 398)
 	fmt.Fprintf(&b, "%-12s %8d %8d\n", "TLC PoC", len(d3), 796)
 	fmt.Fprintf(&b, "%-12s %8d %8s  (3 messages/cycle)\n", "total", len(d1)+len(d2)+len(d3), "1393")
-	return Result{ID: "fig17", Title: "Figure 17: Proof-of-Charging cost", Text: b.String()}
+	return Result{ID: "fig17", Title: "Figure 17: Proof-of-Charging cost", Text: b.String(), Metrics: metrics}
 }
 
 // Fig18 reproduces Figure 18: the accuracy of TLC's tamper-resilient
@@ -154,21 +171,30 @@ func Fig17(opt Options) Result {
 // over clock-skewed windows.
 func Fig18(opt Options) Result {
 	opt = opt.withDefaults()
-	opErr, edgeErr := stats.NewSample(), stats.NewSample()
-	for i, app := range []apps.Profile{apps.VRidgeGVSP, apps.Gaming} {
+	// Cell (i, seed, bi) in the sequential accumulation order.
+	var cfgs []Config
+	for i := range []int{0, 1} {
 		for seed := 0; seed < opt.Seeds*3; seed++ {
 			for bi, bg := range opt.BGLevels {
-				r := NewTestbed(Config{
+				app := apps.VRidgeGVSP
+				if i == 1 {
+					app = apps.Gaming
+				}
+				cfgs = append(cfgs, Config{
 					App: app, Seed: int64(1800 + 311*i + 17*seed + bi), C: 0.5,
 					Duration: opt.Duration, BackgroundMbps: bg,
-				}).Run()
-				if r.Truth.Received > 0 {
-					opErr.Add(relError(r.OpView.Received, r.Truth.Received) * 100)
-				}
-				if r.Truth.Sent > 0 {
-					edgeErr.Add(relError(r.EdgeView.Sent, r.Truth.Sent) * 100)
-				}
+				})
 			}
+		}
+	}
+	runs := runCells(opt, cfgs)
+	opErr, edgeErr := stats.NewSample(), stats.NewSample()
+	for _, r := range runs {
+		if r.Truth.Received > 0 {
+			opErr.Add(relError(r.OpView.Received, r.Truth.Received) * 100)
+		}
+		if r.Truth.Sent > 0 {
+			edgeErr.Add(relError(r.EdgeView.Sent, r.Truth.Sent) * 100)
 		}
 	}
 	var b strings.Builder
@@ -176,7 +202,11 @@ func Fig18(opt Options) Result {
 	b.WriteString(stats.RenderCDF("edge record error γe (%)", edgeErr, 5))
 	fmt.Fprintf(&b, "operator mean %.2f%% (paper 2.0%%, 95%% ≤7.7%%) | edge mean %.2f%% (paper 1.2%%, 95%% ≤2.9%%)\n",
 		opErr.Mean(), edgeErr.Mean())
-	return Result{ID: "fig18", Title: "Figure 18: tamper-resilient CDR accuracy", Text: b.String()}
+	metrics := map[string]float64{
+		"op_err_pct_mean":   opErr.Mean(),
+		"edge_err_pct_mean": edgeErr.Mean(),
+	}
+	return Result{ID: "fig18", Title: "Figure 18: tamper-resilient CDR accuracy", Text: b.String(), Metrics: metrics}
 }
 
 func relError(est, truth float64) float64 {
@@ -195,13 +225,20 @@ func relError(est, truth float64) float64 {
 // over-charges the edge by at most c·(x̂'e − x̂e).
 func AppendixD(opt Options) Result {
 	opt = opt.withDefaults()
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %14s %14s %14s\n", "inet-loss", "overcharge", "bound c·loss", "within")
-	for _, loss := range []float64{0, 0.05, 0.1, 0.2} {
-		r := NewTestbed(Config{
+	losses := []float64{0, 0.05, 0.1, 0.2}
+	cfgs := make([]Config, len(losses))
+	for li, loss := range losses {
+		cfgs[li] = Config{
 			App: apps.VRidgeGVSP, Seed: int64(1900 + int(loss*100)), C: 0.5,
 			Duration: opt.Duration, InternetLoss: loss,
-		}).Run()
+		}
+	}
+	runs := runCells(opt, cfgs)
+	var b strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s\n", "inet-loss", "overcharge", "bound c·loss", "within")
+	for li, loss := range losses {
+		r := runs[li]
 		// The Appendix D premise: an *honest* edge reports its
 		// internet-side sent record x̂'e (it cannot see the core).
 		res := Evaluate(r, SchemeHonest, 1901)
@@ -218,9 +255,10 @@ func AppendixD(opt Options) Result {
 		slack := 0.02 * idealXHat // record-error slack
 		fmt.Fprintf(&b, "%-12.2f %11.2f MB %11.2f MB %14v\n",
 			loss, overcharge/1e6, bound/1e6, overcharge <= bound+slack)
+		metrics[fmt.Sprintf("overcharge_mb_loss%.2f", loss)] = overcharge / 1e6
 	}
 	b.WriteString("(Appendix D: over-charging bounded by the server→core loss; legacy is unbounded)\n")
-	return Result{ID: "appendixD", Title: "Appendix D: TLC in generic mobile data charging", Text: b.String()}
+	return Result{ID: "appendixD", Title: "Appendix D: TLC in generic mobile data charging", Text: b.String(), Metrics: metrics}
 }
 
 // Rounds16bFor exposes the Figure 16b per-app round computation for
@@ -246,28 +284,48 @@ func Rounds16bFor(app apps.Profile, opt Options) (randomRounds float64) {
 // VR user.
 func Handover(opt Options) Result {
 	opt = opt.withDefaults()
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %10s %14s | %12s %12s\n",
-		"mean interval", "handovers", "buffer loss", "legacy ε", "optimal ε")
-	for _, interval := range []time.Duration{0, 30 * time.Second, 10 * time.Second, 5 * time.Second} {
-		var legacy, optimal float64
-		var handovers, lost uint64
+	intervals := []time.Duration{0, 30 * time.Second, 10 * time.Second, 5 * time.Second}
+	// Cell (ii, seed) at index ii*Seeds+seed. A moving device rides
+	// near the cell edge with some cross traffic, so the eNodeB
+	// buffer is populated and handovers genuinely lose data.
+	var cfgs []Config
+	for _, interval := range intervals {
 		for seed := 0; seed < opt.Seeds; seed++ {
-			s := int64(2100 + int(interval.Seconds()) + seed)
-			// A moving device rides near the cell edge with some
-			// cross traffic, so the eNodeB buffer is populated and
-			// handovers genuinely lose data.
-			r := NewTestbed(Config{
-				App: apps.VRidgeGVSP, Seed: s, C: 0.5,
+			cfgs = append(cfgs, Config{
+				App: apps.VRidgeGVSP, Seed: int64(2100 + int(interval.Seconds()) + seed), C: 0.5,
 				Duration:             opt.Duration,
 				RSS:                  RSSSpec{Base: -107},
 				BackgroundMbps:       12,
 				HandoverMeanInterval: interval,
-			}).Run()
-			legacy += Evaluate(r, SchemeLegacy, s+1).Epsilon
-			optimal += Evaluate(r, SchemeOptimal, s+1).Epsilon
-			handovers += r.Handovers
-			lost += r.HandoverLostBytes
+			})
+		}
+	}
+	type cellOut struct {
+		legacy, optimal float64
+		handovers, lost uint64
+	}
+	cells := Sweep(cfgs, opt.Workers, func(cfg Config) cellOut {
+		r := NewTestbed(cfg).Run()
+		return cellOut{
+			legacy:    Evaluate(r, SchemeLegacy, cfg.Seed+1).Epsilon,
+			optimal:   Evaluate(r, SchemeOptimal, cfg.Seed+1).Epsilon,
+			handovers: r.Handovers,
+			lost:      r.HandoverLostBytes,
+		}
+	})
+	var b strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&b, "%-14s %10s %14s | %12s %12s\n",
+		"mean interval", "handovers", "buffer loss", "legacy ε", "optimal ε")
+	for ii, interval := range intervals {
+		var legacy, optimal float64
+		var handovers, lost uint64
+		for seed := 0; seed < opt.Seeds; seed++ {
+			cell := cells[ii*opt.Seeds+seed]
+			legacy += cell.legacy
+			optimal += cell.optimal
+			handovers += cell.handovers
+			lost += cell.lost
 		}
 		n := float64(opt.Seeds)
 		name := "none"
@@ -277,9 +335,10 @@ func Handover(opt Options) Result {
 		fmt.Fprintf(&b, "%-14s %10.1f %11.2f MB | %11.2f%% %11.2f%%\n",
 			name, float64(handovers)/n, float64(lost)/n/1e6,
 			legacy/n*100, optimal/n*100)
+		metrics["eps_pct_legacy_"+name] = legacy / n * 100
 	}
 	b.WriteString("(extension: §3.1 mobility loss; not a paper figure)\n")
-	return Result{ID: "handover", Title: "Extension: charging gap vs handover rate", Text: b.String()}
+	return Result{ID: "handover", Title: "Extension: charging gap vs handover rate", Text: b.String(), Metrics: metrics}
 }
 
 // All runs every table and figure.

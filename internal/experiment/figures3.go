@@ -20,11 +20,14 @@ import (
 // is charged while the application receives each byte once.
 func Retransmission(opt Options) Result {
 	opt = opt.withDefaults()
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s\n",
-		"RTO", "charged(MB)", "received(MB)", "rtx(MB)", "over-charge")
-	for _, rto := range []time.Duration{500 * time.Millisecond, 130 * time.Millisecond,
-		100 * time.Millisecond, 80 * time.Millisecond} {
+	rtos := []time.Duration{500 * time.Millisecond, 130 * time.Millisecond,
+		100 * time.Millisecond, 80 * time.Millisecond}
+	type cellOut struct {
+		charged, received, rtx float64
+	}
+	// Each cell builds a private sender/receiver/link stack on its
+	// own scheduler, so the RTO sweep fans out like the testbed grid.
+	cells := Sweep(rtos, opt.Workers, func(rto time.Duration) cellOut {
 		s := sim.NewScheduler()
 		ids := &netem.IDGen{}
 		snd := transport.NewSender(s, ids, nil, "bulk", imsi)
@@ -38,18 +41,29 @@ func Retransmission(opt Options) Result {
 		snd.Dst = gw
 		snd.Transfer(2000, nil)
 		s.RunUntil(3 * time.Minute)
-		charged := float64(gw.TotalBytes())
-		received := float64(rcv.UniqueBytes())
 		_, _, rtx, _ := snd.Stats()
+		return cellOut{
+			charged:  float64(gw.TotalBytes()),
+			received: float64(rcv.UniqueBytes()),
+			rtx:      float64(rtx),
+		}
+	})
+	var b strings.Builder
+	metrics := map[string]float64{}
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s\n",
+		"RTO", "charged(MB)", "received(MB)", "rtx(MB)", "over-charge")
+	for ri, rto := range rtos {
+		cell := cells[ri]
 		over := 0.0
-		if received > 0 {
-			over = (charged - received) / received
+		if cell.received > 0 {
+			over = (cell.charged - cell.received) / cell.received
 		}
 		fmt.Fprintf(&b, "%-10s %12.2f %12.2f %12.2f %11.1f%%\n",
-			rto, charged/1e6, received/1e6, float64(rtx)/1e6, over*100)
+			rto, cell.charged/1e6, cell.received/1e6, cell.rtx/1e6, over*100)
+		metrics["overcharge_pct_"+rto.String()] = over * 100
 	}
 	b.WriteString("(extension: §3.1 cause 4 — spurious retransmissions are charged, received once)\n")
-	return Result{ID: "retransmission", Title: "Extension: over-charging from spurious retransmission", Text: b.String()}
+	return Result{ID: "retransmission", Title: "Extension: over-charging from spurious retransmission", Text: b.String(), Metrics: metrics}
 }
 
 // Strawman reproduces §5.4's monitor comparison: how each candidate

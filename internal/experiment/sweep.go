@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the experiment suite's parallel sweep engine. Every
+// table and figure is a grid of independent charging cycles — each
+// cell builds its own Testbed with its own Scheduler, RNG, IDGen and
+// PacketPool, so cells share no mutable state and can run on any
+// goroutine. The engine fans cells across a worker pool while keeping
+// the output *byte-identical* to a sequential run:
+//
+//   - every cell's seed is a pure function of the cell's grid
+//     coordinates (see sim.SeedForCell and the per-figure seed
+//     formulas), never of execution order;
+//   - results land in a slice indexed by cell position, so the
+//     aggregation loop reads them in grid order no matter which
+//     worker finished first;
+//   - a panicking cell does not tear down the process mid-sweep:
+//     every worker drains, then the panic of the *lowest-indexed*
+//     failing cell is re-raised, so even failures are deterministic.
+
+// SweepWorkers resolves an Options.Workers value to a goroutine
+// count for n cells: 0 means sequential (run inline on the caller's
+// goroutine), negative means one worker per CPU, and any count is
+// capped at the number of cells.
+func SweepWorkers(workers, n int) int {
+	if workers == 0 {
+		return 0
+	}
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// SweepN runs runCell(i) for i in [0, n) across the given number of
+// workers and returns the results ordered by cell index. See
+// SweepWorkers for the workers semantics. runCell must not depend on
+// any state shared with other cells.
+func SweepN[R any](n, workers int, runCell func(int) R) []R {
+	out := make([]R, n)
+	if n == 0 {
+		return out
+	}
+	w := SweepWorkers(workers, n)
+	if w == 0 {
+		for i := 0; i < n; i++ {
+			out[i] = runCell(i)
+		}
+		return out
+	}
+
+	// Work-stealing by atomic counter: cell order never influences
+	// cell results (seeds come from coordinates), so any assignment
+	// of cells to workers produces the same output slice.
+	var next atomic.Int64
+	panics := make([]any, n)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					out[i] = runCell(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("experiment: sweep cell %d panicked: %v", i, p))
+		}
+	}
+	return out
+}
+
+// Sweep runs runCell over every cell across the given number of
+// workers, returning results in cell order (the generic form of
+// SweepN for pre-built cell descriptors).
+func Sweep[C, R any](cells []C, workers int, runCell func(C) R) []R {
+	return SweepN(len(cells), workers, func(i int) R { return runCell(cells[i]) })
+}
+
+// runCells executes one full charging cycle per config, fanned across
+// opt.Workers goroutines, with results ordered like the configs.
+func runCells(opt Options, cfgs []Config) []*CycleResult {
+	return Sweep(cfgs, opt.Workers, func(c Config) *CycleResult {
+		return NewTestbed(c).Run()
+	})
+}

@@ -152,6 +152,10 @@ type Testbed struct {
 	Sched *sim.Scheduler
 	RNG   *sim.RNG
 	IDs   *netem.IDGen
+	// Pool recycles packet structs across the whole topology: the
+	// sources draw from it and every terminal sink and drop site
+	// returns to it, so a steady-state cycle allocates no packets.
+	Pool *netem.PacketPool
 
 	HSS  *epc.HSS
 	PCRF *epc.PCRF
@@ -200,6 +204,7 @@ func NewTestbed(cfg Config) *Testbed {
 		Sched: sim.NewScheduler(),
 		RNG:   sim.NewRNG(cfg.Seed),
 		IDs:   &netem.IDGen{},
+		Pool:  &netem.PacketPool{},
 	}
 	s := tb.Sched
 
@@ -213,6 +218,8 @@ func NewTestbed(cfg Config) *Testbed {
 	tb.MME = epc.NewMME(s)
 	tb.MME.Attach(imsi)
 	tb.SPGW = epc.NewSPGW(s, "192.168.2.11", tb.MME, tb.PCRF)
+	tb.SPGW.Pool = tb.Pool
+	tb.SPGW.MeterHorizon = cfg.Duration + 2*time.Second
 	tb.OFCS = epc.NewOFCS()
 	tb.SPGW.OFCS = tb.OFCS
 
@@ -239,6 +246,12 @@ func NewTestbed(cfg Config) *Testbed {
 	tb.SrvAppSent = netem.NewMeter("srv-app-sent", s, nil)
 	tb.SrvAppRecv = netem.NewMeter("srv-app-recv", s, nil)
 	tb.SrvIngress = netem.NewMeter("op-srv-ingress", s, nil)
+	horizon := cfg.Duration + 2*time.Second
+	for _, m := range []*netem.Meter{
+		tb.DevAppSent, tb.DevAppRecv, tb.SrvAppSent, tb.SrvAppRecv, tb.SrvIngress,
+	} {
+		m.Reserve(horizon)
+	}
 
 	bsTap := func(next netem.Node) netem.Node {
 		return netem.NodeFunc(func(p *netem.Packet) {
@@ -255,6 +268,7 @@ func NewTestbed(cfg Config) *Testbed {
 		if !p.Background && p.Dir == netem.Uplink {
 			tb.SrvAppRecv.Recv(p)
 		}
+		tb.Pool.Put(p)
 	})
 	// Operator's server-port monitor in front of the app.
 	ulOpMonitor := netem.NodeFunc(func(p *netem.Packet) {
@@ -269,6 +283,7 @@ func NewTestbed(cfg Config) *Testbed {
 		if !p.Background && p.Dir == netem.Downlink {
 			tb.DevAppRecv.Recv(p)
 		}
+		tb.Pool.Put(p)
 	})
 	osRX := tb.OS.RXNode()
 	dlOS := netem.NodeFunc(func(p *netem.Packet) {
@@ -282,6 +297,7 @@ func NewTestbed(cfg Config) *Testbed {
 	// this device's modem (it belongs to the other phone).
 	dlAirDst := netem.NodeFunc(func(p *netem.Packet) {
 		if p.Background {
+			tb.Pool.Put(p)
 			return
 		}
 		modemDL.Recv(p)
@@ -294,13 +310,14 @@ func NewTestbed(cfg Config) *Testbed {
 		Name: "dl-air", RateBps: dlAirRateBps, Delay: 5 * time.Millisecond,
 		QueueBytes: airQueue, ResidualLoss: dlAirResidualLoss,
 	}, s, tb.Radio, bsTap(dlAirDst), tb.RNG.Fork("dl-air"))
+	tb.DLAir.Pool = tb.Pool
 
 	// ---- Core bridge (shared, post-meter both directions) ----
 	// GTP-U tunnels the SPGW↔eNodeB segment (S1-U): downlink packets
 	// are encapsulated after metering and decapsulated at the base
 	// station before the air interface.
 	tb.Bearers = epc.NewBearerTable()
-	dlDecap := &epc.GTPDecap{Bearers: tb.Bearers}
+	dlDecap := &epc.GTPDecap{Bearers: tb.Bearers, Pool: tb.Pool}
 	bridgeRouter := netem.NodeFunc(func(p *netem.Packet) {
 		if p.Dir == netem.Downlink {
 			dlDecap.Recv(p)
@@ -310,6 +327,7 @@ func NewTestbed(cfg Config) *Testbed {
 	})
 	tb.Bridge = netem.NewLink("core-bridge", s, bridgeRateBps, time.Millisecond,
 		bridgeQueueBytes, bridgeRouter)
+	tb.Bridge.Pool = tb.Pool
 	bridgeRNG := tb.RNG.Fork("bridge")
 	tb.Bridge.Loss = netem.LossFunc(func(p *netem.Packet, _ sim.Time) bool {
 		if p.Background || p.Dir != netem.Uplink {
@@ -320,6 +338,7 @@ func NewTestbed(cfg Config) *Testbed {
 	// The shared congestion point: all traffic (both directions and
 	// the background stream) competes for the cell+core capacity.
 	tb.Dropper = netem.NewLoadDropper(s, cellCapacityBps, tb.Bridge, tb.RNG.Fork("load"))
+	tb.Dropper.Pool = tb.Pool
 	dlDecap.Next = tb.DLAir
 
 	// SPGW forwards into the congested core in both directions; the
@@ -333,12 +352,13 @@ func NewTestbed(cfg Config) *Testbed {
 	// toward the gateway, which decapsulates before metering (CDRs
 	// count subscriber bytes, not tunnel bytes).
 	spgwUL := tb.SPGW.ULNode()
-	ulDecap := &epc.GTPDecap{Bearers: tb.Bearers, Next: spgwUL}
+	ulDecap := &epc.GTPDecap{Bearers: tb.Bearers, Next: spgwUL, Pool: tb.Pool}
 	ulEncap := &epc.GTPEncap{Bearers: tb.Bearers, Next: ulDecap}
 	tb.ULAir = ran.NewAirLink(ran.AirLinkConfig{
 		Name: "ul-air", RateBps: ulAirRateBps, Delay: 5 * time.Millisecond,
 		QueueBytes: airQueue, ResidualLoss: ulAirResidualLoss,
 	}, s, tb.Radio, bsTap(ulEncap), tb.RNG.Fork("ul-air"))
+	tb.ULAir.Pool = tb.Pool
 	osTX := tb.OS.TXNode()
 	modemUL := tb.Modem.ULNode(tb.ULAir)
 	deviceULStack := netem.NodeFunc(func(p *netem.Packet) {
@@ -353,7 +373,8 @@ func NewTestbed(cfg Config) *Testbed {
 	serverDLStack := netem.NodeFunc(func(p *netem.Packet) {
 		tb.SrvAppSent.Recv(p)
 		if cfg.InternetLoss > 0 && inetRNG.Float64() < cfg.InternetLoss {
-			return // lost between the remote server and the core
+			tb.Pool.Put(p) // lost between the remote server and the core
+			return
 		}
 		spgwDL.Recv(p)
 	})
@@ -365,9 +386,10 @@ func NewTestbed(cfg Config) *Testbed {
 	}
 	if cfg.UseTraceReplay {
 		tr := trace.Synthesize(cfg.App, cfg.App.Name, imsi, cfg.Duration+2*time.Second, cfg.Seed^0x5eed)
-		tb.Replayer = &trace.Replayer{Trace: tr, Sched: s, IDs: tb.IDs, Dst: appDst}
+		tb.Replayer = &trace.Replayer{Trace: tr, Sched: s, IDs: tb.IDs, Dst: appDst, Pool: tb.Pool}
 	} else {
 		tb.Streamer = apps.NewStreamer(cfg.App, s, tb.IDs, appDst, cfg.App.Name, imsi, tb.RNG.Fork("app"))
+		tb.Streamer.Pool = tb.Pool
 	}
 
 	// ---- Background traffic ----
@@ -380,6 +402,7 @@ func NewTestbed(cfg Config) *Testbed {
 			Dir: netem.Downlink, RateBps: cfg.BackgroundMbps * 1e6,
 			PacketSize: 7000, Background: true,
 			Jitter: 0.2, RNG: tb.RNG.Fork("bg"),
+			Pool: tb.Pool,
 		}
 		tb.bgSources = append(tb.bgSources, src)
 	}

@@ -2,37 +2,55 @@ package lint
 
 import (
 	"go/ast"
+	"strings"
 )
 
-// seededRandAllowed lists the math/rand selectors that do NOT touch
-// the process-global generator: explicit-source constructors and type
-// names. Everything else (rand.Intn, rand.Float64, rand.Seed, ...)
-// draws from — or reseeds — shared global state, which is both
-// nondeterministic across packages and a data race under -race.
-var seededRandAllowed = map[string]bool{
+// simPackagePath is the one package allowed to build raw math/rand
+// generators: sim wraps an explicitly seeded source into sim.RNG, and
+// everything else derives randomness from it (sim.NewRNG, RNG.Fork,
+// sim.SeedForCell for per-cell sweep seeds).
+const simPackagePath = "tlc/internal/sim"
+
+// seededRandTypes lists math/rand selectors that merely name types
+// (e.g. a *rand.Rand parameter). Naming a type draws nothing from the
+// global source, so these stay allowed everywhere.
+var seededRandTypes = map[string]bool{
+	"Rand":     true,
+	"Source":   true,
+	"Source64": true,
+	"Zipf":     true,
+	"PCG":      true, // math/rand/v2
+	"ChaCha8":  true,
+}
+
+// seededRandConstructors lists the explicit-source constructors. They
+// do not touch global state either, but outside internal/sim a raw
+// generator bypasses the seed-derivation discipline (forked,
+// coordinate-derived seeds) that keeps parallel sweeps replayable —
+// so they are confined to the sim package.
+var seededRandConstructors = map[string]bool{
 	"New":        true,
 	"NewSource":  true,
 	"NewZipf":    true,
-	"Rand":       true,
-	"Source":     true,
-	"Source64":   true,
-	"Zipf":       true,
 	"NewPCG":     true, // math/rand/v2
-	"PCG":        true,
 	"NewChaCha8": true,
-	"ChaCha8":    true,
 }
 
 // SeededRand forbids the global math/rand functions in internal/
-// packages. Simulation randomness must flow through sim.RNG (seeded,
-// forkable per component) so experiments replay from a seed; wrapping
-// an explicit seeded source (rand.New(rand.NewSource(seed))) is how
-// sim.RNG itself is built and stays allowed.
+// packages, and confines the explicit-source constructors to
+// tlc/internal/sim. Simulation randomness must flow through sim.RNG
+// (seeded, forkable per component, per-cell seeds via
+// sim.SeedForCell) so experiments replay from a seed at any sweep
+// worker count.
 var SeededRand = &Analyzer{
 	Name:    "seededrand",
 	Doc:     "forbid global/unseeded math/rand use in internal/ packages; draw from sim.RNG",
 	Applies: internalPackage,
 	Run:     runSeededRand,
+}
+
+func inSimPackage(path string) bool {
+	return path == simPackagePath || strings.HasPrefix(path, simPackagePath+"/")
 }
 
 func runSeededRand(pass *Pass) {
@@ -50,12 +68,22 @@ func runSeededRand(pass *Pass) {
 			if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
 				return true
 			}
-			if seededRandAllowed[sel.Sel.Name] {
+			name := sel.Sel.Name
+			if seededRandTypes[name] {
+				return true
+			}
+			if seededRandConstructors[name] {
+				if inSimPackage(pass.Path) {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"%s.%s builds a raw generator outside %s; derive per-cell seeds with sim.SeedForCell and draw from sim.NewRNG / RNG.Fork",
+					pkg.Path(), name, simPackagePath)
 				return true
 			}
 			pass.Reportf(sel.Pos(),
 				"%s.%s uses the process-global random source; draw from a seeded sim.RNG so runs replay deterministically",
-				pkg.Path(), sel.Sel.Name)
+				pkg.Path(), name)
 			return true
 		})
 	}

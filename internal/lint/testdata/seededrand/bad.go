@@ -18,3 +18,11 @@ func Pick(n int) int {
 func Reseed() {
 	rand.Seed(1) // want seededrand "rand.Seed"
 }
+
+// Stream builds a raw seeded generator. That avoids global state but
+// sidesteps the sim.SeedForCell / RNG.Fork derivation discipline, so
+// outside tlc/internal/sim it is still flagged.
+func Stream(seed int64) *rand.Rand {
+	src := rand.NewSource(seed) // want seededrand "rand.NewSource"
+	return rand.New(src)        // want seededrand "rand.New"
+}

@@ -2,8 +2,14 @@ package fixture
 
 import "math/rand"
 
-// Stream builds an explicitly seeded source — exactly how sim.RNG
-// wraps math/rand, and therefore allowed.
-func Stream(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed))
+// Shuffle draws from a generator the caller already owns — naming the
+// *rand.Rand type is fine anywhere; only building one is confined to
+// tlc/internal/sim.
+func Shuffle(rng *rand.Rand, xs []int) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Spread widens a unit draw taken from an injected source.
+func Spread(src rand.Source, scale float64) float64 {
+	return float64(src.Int63()) / (1 << 63) * scale
 }

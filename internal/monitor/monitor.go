@@ -122,6 +122,11 @@ type OperatorMonitor struct {
 // OnCounterCheck ingests a completed COUNTER CHECK exchange; wire it
 // to ran.BaseStation.OnCounterCheck.
 func (m *OperatorMonitor) OnCounterCheck(rec ran.CounterCheckRecord) {
+	if m.checks == nil {
+		// A cycle polls every ~10s plus per-release checks; reserve
+		// once so the record log appends without reallocating.
+		m.checks = make([]ran.CounterCheckRecord, 0, 64)
+	}
 	m.checks = append(m.checks, rec)
 }
 

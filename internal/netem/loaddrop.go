@@ -25,6 +25,9 @@ type LoadDropper struct {
 	Next        Node
 	RNG         *sim.RNG
 
+	// Pool optionally recycles packets the dropper discards.
+	Pool *PacketPool
+
 	// Onset is the utilisation at which losses start (default 0.5).
 	Onset float64
 	// MaxSoftLoss is the loss probability as utilisation reaches 1
@@ -119,6 +122,7 @@ func (d *LoadDropper) Recv(p *Packet) {
 	d.binBytes[p.QCI] += float64(p.Size)
 	if d.RNG != nil && d.RNG.Float64() < d.DropProb(p.QCI) {
 		d.Dropped++
+		d.Pool.Put(p)
 		return
 	}
 	d.Forwarded++

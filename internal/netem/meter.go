@@ -55,12 +55,38 @@ func (m *Meter) Recv(pkt *Packet) {
 	}
 }
 
+// Reserve pre-sizes the bin series for a cycle of the given length,
+// so steady-state metering never grows the slice. Callers that know
+// the cycle duration (the testbed, the gateway) reserve up front;
+// metering past the reservation still works and grows amortised.
+func (m *Meter) Reserve(horizon time.Duration) {
+	n := int(horizon/m.binWidth) + 1
+	if n > cap(m.bins) {
+		nb := make([]float64, len(m.bins), n)
+		copy(nb, m.bins)
+		m.bins = nb
+	}
+}
+
 func (m *Meter) record(now sim.Time, size int) {
 	m.packets++
 	m.bytes += uint64(size)
 	idx := int(now / m.binWidth)
-	for len(m.bins) <= idx {
-		m.bins = append(m.bins, 0)
+	if idx >= len(m.bins) {
+		// Grow geometrically instead of one bin at a time: extending
+		// within capacity is free, and a fresh backing array doubles
+		// so a cycle performs O(log n) bin allocations.
+		if idx < cap(m.bins) {
+			m.bins = m.bins[:idx+1]
+		} else {
+			newCap := 2 * cap(m.bins)
+			if newCap < idx+1 {
+				newCap = idx + 1
+			}
+			nb := make([]float64, idx+1, newCap)
+			copy(nb, m.bins)
+			m.bins = nb
+		}
 	}
 	m.bins[idx] += float64(size)
 }
@@ -146,7 +172,12 @@ type TrafficSource struct {
 	Jitter     float64 // fraction of the inter-packet gap, uniform +/-
 	RNG        *sim.RNG
 
+	// Pool optionally recycles emitted packets; wire the same pool
+	// into the terminal sinks and drop sites downstream.
+	Pool *PacketPool
+
 	stopped bool
+	emitFn  func() // bound emit closure, allocated once
 }
 
 // Start begins emission at the given simulated time.
@@ -157,7 +188,8 @@ func (t *TrafficSource) Start(at sim.Time) {
 	if t.RateBps <= 0 {
 		return
 	}
-	t.Sched.At(at, t.emit)
+	t.emitFn = t.emit
+	t.Sched.AtPooled(at, t.emitFn)
 }
 
 // Stop halts emission after the next scheduled packet.
@@ -167,16 +199,15 @@ func (t *TrafficSource) emit() {
 	if t.stopped {
 		return
 	}
-	pkt := &Packet{
-		ID:         t.IDs.Next(),
-		Flow:       t.Flow,
-		IMSI:       t.IMSI,
-		QCI:        t.QCI,
-		Size:       t.PacketSize,
-		Dir:        t.Dir,
-		Sent:       t.Sched.Now(),
-		Background: t.Background,
-	}
+	pkt := t.Pool.Get()
+	pkt.ID = t.IDs.Next()
+	pkt.Flow = t.Flow
+	pkt.IMSI = t.IMSI
+	pkt.QCI = t.QCI
+	pkt.Size = t.PacketSize
+	pkt.Dir = t.Dir
+	pkt.Sent = t.Sched.Now()
+	pkt.Background = t.Background
 	t.Dst.Recv(pkt)
 	gap := time.Duration(float64(t.PacketSize*8) / t.RateBps * float64(time.Second))
 	if t.Jitter > 0 && t.RNG != nil {
@@ -185,5 +216,5 @@ func (t *TrafficSource) emit() {
 			gap = time.Microsecond
 		}
 	}
-	t.Sched.After(gap, t.emit)
+	t.Sched.AfterPooled(gap, t.emitFn)
 }

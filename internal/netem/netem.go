@@ -95,6 +95,49 @@ func (g *IDGen) Next() uint64 {
 	return g.next
 }
 
+// PacketPool recycles Packet structs within one simulation. Traffic
+// sources draw packets from the pool and every terminal point — app
+// sinks, drop sites inside links and droppers, the gateway's
+// detached-discard — returns them, so a steady-state cycle stops
+// allocating per packet. A pool belongs to a single scheduler (one
+// testbed); it is not safe for concurrent use, which is fine because
+// parallel sweeps give every cell its own testbed. A nil *PacketPool
+// is valid everywhere and falls back to plain allocation.
+type PacketPool struct {
+	free []*Packet
+
+	// Gets/Reuses count pool traffic for allocation diagnostics.
+	Gets   uint64
+	Reuses uint64
+}
+
+// Get returns a zeroed packet, reusing a recycled struct when one is
+// available.
+func (pp *PacketPool) Get() *Packet {
+	if pp == nil {
+		return &Packet{}
+	}
+	pp.Gets++
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		pp.Reuses++
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// Put returns a packet whose journey ended (delivered to its final
+// consumer or dropped). The caller must not touch p afterwards.
+func (pp *PacketPool) Put(p *Packet) {
+	if pp == nil || p == nil {
+		return
+	}
+	pp.free = append(pp.free, p)
+}
+
 // LossModel decides whether a packet is lost in transit on a link.
 type LossModel interface {
 	Drop(pkt *Packet, now sim.Time) bool
@@ -170,11 +213,23 @@ type Link struct {
 	// positive floor.
 	RateScale func(now sim.Time) float64
 
+	// Pool optionally recycles packets the link drops (queue
+	// overflow, loss model, handover buffer flush). Leave nil when
+	// packets are allocated outside a PacketPool.
+	Pool *PacketPool
+
 	Stats LinkStats
 
 	queue        []*Packet
 	queuedBytes  int
 	transmitting bool
+
+	// inFlight is the packet occupying the transmitter; the
+	// transmitting flag guarantees at most one. gateRetryFn/txDoneFn
+	// cache the two hot-path event closures (see gateRetry/txDone).
+	inFlight    *Packet
+	gateRetryFn func()
+	txDoneFn    func()
 }
 
 // NewLink returns a ready link. Loss defaults to NoLoss.
@@ -212,6 +267,7 @@ func (l *Link) Recv(pkt *Packet) {
 		if !l.evictLowerPriority(pkt) {
 			l.Stats.QueueDrops++
 			l.Stats.QueueDropped += uint64(pkt.Size)
+			l.Pool.Put(pkt)
 			return
 		}
 	}
@@ -246,6 +302,7 @@ func (l *Link) evictLowerPriority(pkt *Packet) bool {
 			l.queuedBytes -= q.Size
 			l.Stats.QueueDrops++
 			l.Stats.QueueDropped += uint64(q.Size)
+			l.Pool.Put(q)
 			continue
 		}
 		keep = append(keep, q)
@@ -276,10 +333,7 @@ func (l *Link) kick() {
 		// radio state changes, but polling keeps the model safe even
 		// if it forgets.
 		l.transmitting = true
-		l.Sched.After(10*time.Millisecond, func() {
-			l.transmitting = false
-			l.kick()
-		})
+		l.Sched.AfterPooled(10*time.Millisecond, l.gateRetry())
 		return
 	}
 	pkt := l.queue[0]
@@ -298,11 +352,34 @@ func (l *Link) kick() {
 		}
 		tx = time.Duration(float64(pkt.Size*8) / rate * float64(time.Second))
 	}
-	l.Sched.After(tx, func() {
-		l.transmitting = false
-		l.propagate(pkt)
-		l.kick()
-	})
+	l.inFlight = pkt
+	l.Sched.AfterPooled(tx, l.txDone())
+}
+
+// gateRetry and txDone return per-link closures that are allocated
+// once and reused for every transmission, so the two events on the
+// per-packet hot path cost neither an Event nor a closure allocation.
+func (l *Link) gateRetry() func() {
+	if l.gateRetryFn == nil {
+		l.gateRetryFn = func() {
+			l.transmitting = false
+			l.kick()
+		}
+	}
+	return l.gateRetryFn
+}
+
+func (l *Link) txDone() func() {
+	if l.txDoneFn == nil {
+		l.txDoneFn = func() {
+			pkt := l.inFlight
+			l.inFlight = nil
+			l.transmitting = false
+			l.propagate(pkt)
+			l.kick()
+		}
+	}
+	return l.txDoneFn
 }
 
 // propagate applies the loss model and delivers after Delay.
@@ -310,6 +387,7 @@ func (l *Link) propagate(pkt *Packet) {
 	if l.Loss != nil && l.Loss.Drop(pkt, l.Sched.Now()) {
 		l.Stats.LossDrops++
 		l.Stats.LossDropped += uint64(pkt.Size)
+		l.Pool.Put(pkt)
 		return
 	}
 	deliver := func() {
@@ -320,7 +398,7 @@ func (l *Link) propagate(pkt *Packet) {
 		}
 	}
 	if l.Delay > 0 {
-		l.Sched.After(l.Delay, deliver)
+		l.Sched.AfterPooled(l.Delay, deliver)
 	} else {
 		deliver()
 	}
@@ -348,6 +426,7 @@ func (l *Link) DropQueuedFraction(frac float64) (packets, bytes uint64) {
 		bytes += uint64(q.Size)
 		l.Stats.QueueDrops++
 		l.Stats.QueueDropped += uint64(q.Size)
+		l.Pool.Put(q)
 	}
 	for j := i; j < len(l.queue); j++ {
 		l.queue[j] = nil

@@ -1,0 +1,31 @@
+package netem
+
+import "testing"
+
+func TestPacketPoolReusesAndZeroes(t *testing.T) {
+	pp := &PacketPool{}
+	p1 := pp.Get()
+	p1.ID, p1.Size, p1.IMSI, p1.Background = 7, 1200, "imsi", true
+	pp.Put(p1)
+	p2 := pp.Get()
+	if p2 != p1 {
+		t.Fatal("pool did not reuse the recycled packet")
+	}
+	if p2.ID != 0 || p2.Size != 0 || p2.IMSI != "" || p2.Background {
+		t.Fatalf("reused packet not zeroed: %+v", p2)
+	}
+	if pp.Gets != 2 || pp.Reuses != 1 {
+		t.Fatalf("counters = gets %d reuses %d, want 2/1", pp.Gets, pp.Reuses)
+	}
+}
+
+func TestPacketPoolNilSafe(t *testing.T) {
+	var pp *PacketPool
+	p := pp.Get()
+	if p == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	pp.Put(p) // must not panic
+	pp.Put(nil)
+	(&PacketPool{}).Put(nil)
+}

@@ -222,6 +222,10 @@ type Replayer struct {
 	// OnEmit observes every replayed packet.
 	OnEmit func(*netem.Packet)
 
+	// Pool optionally recycles emitted packets; the testbed wires
+	// the same pool into the terminal sinks and drop sites.
+	Pool *netem.PacketPool
+
 	emitted uint64
 	bytes   uint64
 }
@@ -239,16 +243,15 @@ func (r *Replayer) Start(at sim.Time) {
 	for i := range r.Trace.Times {
 		i := i
 		offset := time.Duration(float64(r.Trace.Times[i]-t0) * scale)
-		r.Sched.At(at+offset, func() {
-			pkt := &netem.Packet{
-				ID:   r.IDs.Next(),
-				Flow: r.Trace.Flow,
-				IMSI: r.Trace.IMSI,
-				QCI:  r.Trace.QCI,
-				Size: int(r.Trace.Sizes[i]),
-				Dir:  r.Trace.Dir,
-				Sent: r.Sched.Now(),
-			}
+		r.Sched.AtPooled(at+offset, func() {
+			pkt := r.Pool.Get()
+			pkt.ID = r.IDs.Next()
+			pkt.Flow = r.Trace.Flow
+			pkt.IMSI = r.Trace.IMSI
+			pkt.QCI = r.Trace.QCI
+			pkt.Size = int(r.Trace.Sizes[i])
+			pkt.Dir = r.Trace.Dir
+			pkt.Sent = r.Sched.Now()
 			r.emitted++
 			r.bytes += uint64(pkt.Size)
 			if r.OnEmit != nil {

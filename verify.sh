@@ -6,6 +6,8 @@
 #   tlcvet     — project invariants: sim determinism (simtime,
 #                seededrand), PoC crypto hygiene (cryptorand), error
 #                discipline (errdiscard); see internal/lint
+#   sweep      — parallel sweep engine smoke: ordering, panic
+#                propagation and figure parity under the race detector
 #   test -race — full test suite under the race detector
 set -eu
 cd "$(dirname "$0")"
@@ -13,4 +15,5 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 go run ./cmd/tlcvet ./...
+go test -run Parallel -race ./internal/experiment
 go test -race ./...
