@@ -243,6 +243,72 @@ func BenchmarkLinkForwarding(b *testing.B) {
 	s.RunUntil(s.Now() + time.Minute)
 }
 
+// --- Event-engine microbenchmarks ----------------------------------
+
+// BenchmarkSchedulerPushPop measures a steady-state push+pop cycle
+// against the 4-ary heap at two resident sizes, so both the shallow
+// and the cache-unfriendly deep regime are covered. The pooled path
+// must report 0 allocs/op.
+func BenchmarkSchedulerPushPop(b *testing.B) {
+	for _, size := range []int{1e3, 1e5} {
+		size := size
+		b.Run(fmt.Sprintf("heap%d", size), func(b *testing.B) {
+			s := sim.NewScheduler()
+			rng := sim.NewRNG(int64(size))
+			fn := func() {}
+			for i := 0; i < size; i++ {
+				s.AfterPooled(time.Duration(rng.Intn(1e9)), fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.AfterPooled(time.Duration(rng.Intn(1e9)), fn)
+				s.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerCancelHeavy schedules non-pooled events and
+// cancels half of them, exercising the lazy-discard path where
+// cancelled entries must be skipped at the heap root.
+func BenchmarkSchedulerCancelHeavy(b *testing.B) {
+	s := sim.NewScheduler()
+	rng := sim.NewRNG(17)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := s.After(time.Duration(rng.Intn(1e6)), fn)
+		if i&1 == 0 {
+			s.Cancel(ev)
+		}
+		if i&1023 == 0 {
+			s.RunUntil(s.Now() + time.Millisecond)
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkSchedulerTickerHeavy drives 64 concurrent periodic tickers
+// — the shape the testbed's meters, droppers and RSS scanners put on
+// the heap — through repeated reschedules.
+func BenchmarkSchedulerTickerHeavy(b *testing.B) {
+	s := sim.NewScheduler()
+	var ticks int
+	for i := 0; i < 64; i++ {
+		interval := time.Duration(i+1) * 100 * time.Microsecond
+		s.Ticker(0, interval, func(sim.Time) { ticks++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	if ticks == 0 {
+		b.Fatal("no ticks fired")
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ------------
 
 func BenchmarkAblationQueueSize(b *testing.B) {

@@ -44,9 +44,18 @@ type jsonReport struct {
 
 // jsonExperiment is one experiment's entry.
 type jsonExperiment struct {
-	ID     string             `json:"id"`
-	Title  string             `json:"title"`
-	WallMS float64            `json:"wall_ms"`
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+	// EventsFired is the number of simulator events the experiment's
+	// testbed cycles executed; EventsPerSec is that count over the
+	// wall time, the event engine's throughput gauge.
+	EventsFired  uint64  `json:"events_fired"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerEvent is the heap allocations (runtime.MemStats
+	// Mallocs delta, all sources included) per simulator event — the
+	// steady-state target is well under one.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
 	// Metrics are the experiment's domain numbers (gap ratios, ε
 	// means, negotiation rounds, …).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -108,22 +117,41 @@ func main() {
 		Seeds:       opt.Seeds,
 	}
 	quiet := *jsonPath == "-"
+	var emptyMetrics []string
+	var ms runtime.MemStats
 	for _, id := range ids {
 		f, ok := experiment.ByID(id)
 		if !ok {
 			fatalf("unknown experiment %q (use -list)", id)
 		}
+		runtime.ReadMemStats(&ms)
+		allocsBefore := ms.Mallocs
+		eventsBefore := experiment.EventsFired()
 		start := time.Now()
 		res := f(opt)
 		wall := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		events := experiment.EventsFired() - eventsBefore
+		allocs := ms.Mallocs - allocsBefore
 		if !quiet {
 			fmt.Printf("== %s — %s ==\n%s(elapsed %v)\n\n", res.ID, res.Title, res.Text, wall.Round(time.Millisecond))
 		}
-		report.Experiments = append(report.Experiments, jsonExperiment{
+		if len(res.Metrics) == 0 {
+			emptyMetrics = append(emptyMetrics, id)
+		}
+		entry := jsonExperiment{
 			ID: res.ID, Title: res.Title,
-			WallMS:  float64(wall.Microseconds()) / 1e3,
-			Metrics: res.Metrics,
-		})
+			WallMS:      float64(wall.Microseconds()) / 1e3,
+			EventsFired: events,
+			Metrics:     res.Metrics,
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			entry.EventsPerSec = float64(events) / secs
+		}
+		if events > 0 {
+			entry.AllocsPerEvent = float64(allocs) / float64(events)
+		}
+		report.Experiments = append(report.Experiments, entry)
 		report.TotalMS += float64(wall.Microseconds()) / 1e3
 	}
 
@@ -154,6 +182,13 @@ func main() {
 		} else if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fatalf("write %s: %v", *jsonPath, err)
 		}
+	}
+
+	// An experiment with no machine-readable metrics is a regression
+	// in itself: the perf trajectory (BENCH_*.json) loses its domain
+	// cross-check. Fail loudly rather than silently emitting holes.
+	if len(emptyMetrics) > 0 {
+		fatalf("experiments with empty metrics: %s", strings.Join(emptyMetrics, ", "))
 	}
 }
 

@@ -30,6 +30,7 @@ func Fig16a(opt Options) Result {
 	opt = opt.withDefaults()
 	rng := sim.NewRNG(16)
 	var b strings.Builder
+	metrics := map[string]float64{}
 	fmt.Fprintf(&b, "%-10s %16s %16s\n", "device", "RTT w/o TLC (ms)", "RTT w/ TLC (ms)")
 	for _, name := range device.DeviceNames {
 		p := device.Profiles[name]
@@ -41,9 +42,11 @@ func Fig16a(opt Options) Result {
 			with.Add(sampleCost(rng, p.RTT, p.RTTSigma).Seconds() * 1e3)
 		}
 		fmt.Fprintf(&b, "%-10s %16.1f %16.1f\n", name, without.Mean(), with.Mean())
+		metrics["rtt_ms_"+name] = without.Mean()
+		metrics["rtt_tlc_ms_"+name] = with.Mean()
 	}
 	b.WriteString("(paper: marginal differences with/without TLC on every device)\n")
-	return Result{ID: "fig16a", Title: "Figure 16a: in-cycle RTT with/without TLC", Text: b.String()}
+	return Result{ID: "fig16a", Title: "Figure 16a: in-cycle RTT with/without TLC", Text: b.String(), Metrics: metrics}
 }
 
 // Fig16b reproduces Figure 16b: negotiation rounds per workload for

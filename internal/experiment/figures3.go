@@ -85,12 +85,15 @@ func Strawman(opt Options) Result {
 	r := tb.Run()
 	truth := r.Truth.Received
 
-	row := func(name string, recorded float64) {
+	metrics := map[string]float64{}
+	row := func(name, key string, recorded float64) {
 		err := 0.0
 		if truth > 0 {
 			err = (recorded - truth) / truth
 		}
 		fmt.Fprintf(&b, "%-34s %14.2f %11.1f%%\n", name, recorded/1e6, err*100)
+		metrics["recorded_mb_"+key] = recorded / 1e6
+		metrics["record_err_"+key] = err
 	}
 
 	// Strawman 1: user-space monitor reading the (tampered) OS API
@@ -98,15 +101,15 @@ func Strawman(opt Options) Result {
 	opW := tb.OpClock.ObservedWindow(tb.Plan())
 	trueWindowed := tb.DevAppRecv.BytesInWindow(opW.Start, opW.End)
 	strawman1 := trueWindowed * tamper
-	row("strawman 1: user-space API", strawman1)
+	row("strawman 1: user-space API", "strawman1", strawman1)
 	// Strawman 2: system monitor with root — inspects every packet
 	// the device consumes over the operator's cycle window
 	// (accurate, but needs root and raises privacy concerns, §5.4).
-	row("strawman 2: root system monitor", trueWindowed)
+	row("strawman 2: root system monitor", "strawman2", trueWindowed)
 	// TLC: RRC COUNTER CHECK against the hardware modem — accurate
 	// *without* system privilege.
 	opView := tb.OpMon.View(tb.Plan(), netem.Downlink)
-	row("TLC: RRC COUNTER CHECK", opView.Received)
+	row("TLC: RRC COUNTER CHECK", "tlc_rrc", opView.Received)
 
 	// Revenue impact: an operator trusting the strawman-1 record
 	// settles against an edge whose monitors tell the same lie — the
@@ -132,6 +135,7 @@ func Strawman(opt Options) Result {
 		fmt.Fprintf(&b, "\nwith strawman 1 the settled charge drops to %.2f MB (%.0f%% operator revenue loss);\n",
 			out.X/1e6, lossFrac*100)
 		fmt.Fprintf(&b, "with the RRC record the operator's cross-check rejects the under-claim instead.\n")
+		metrics["revenue_loss_frac"] = lossFrac
 	}
-	return Result{ID: "strawman", Title: "§5.4: tamper resilience of candidate charging records", Text: b.String()}
+	return Result{ID: "strawman", Title: "§5.4: tamper resilience of candidate charging records", Text: b.String(), Metrics: metrics}
 }

@@ -19,6 +19,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"tlc/internal/apps"
@@ -145,6 +146,16 @@ const (
 	// imsi identifies the single edge device under test.
 	imsi = "001011132547648"
 )
+
+// eventsFired accumulates, across every testbed cycle run in this
+// process (including parallel sweep workers), the number of simulator
+// events executed. cmd/tlcbench diffs it around each experiment to
+// report events_fired / events_per_sec / allocs_per_event.
+var eventsFired atomic.Uint64
+
+// EventsFired returns the cumulative count of simulator events
+// executed by Testbed cycles in this process.
+func EventsFired() uint64 { return eventsFired.Load() }
 
 // Testbed is one fully wired emulation instance.
 type Testbed struct {
@@ -495,6 +506,7 @@ func (tb *Testbed) Run() *CycleResult {
 		bg.Stop()
 	}
 	tb.SPGW.FlushCDRs(s.Now())
+	eventsFired.Add(s.Fired())
 
 	return tb.collect()
 }

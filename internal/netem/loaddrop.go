@@ -37,10 +37,19 @@ type LoadDropper struct {
 	// Window is the rate-estimation bin (default 100ms).
 	Window time.Duration
 
-	// binBytes accumulates the current bin's offered bytes per QCI.
-	binBytes map[uint8]float64
-	// rateBps is the EWMA offered rate per QCI.
-	rateBps map[uint8]float64
+	// binBytes accumulates the current bin's offered bytes per QCI
+	// and rateBps holds the EWMA offered rate per QCI. QCI is a
+	// byte, so these are flat arrays rather than maps: Recv runs once
+	// per packet and must not pay for map accesses or iteration.
+	binBytes [256]float64
+	rateBps  [256]float64
+	// cumRate[q] is rateBps summed over classes 0..q (higher-or-equal
+	// priority), refreshed once per estimation window so utilization
+	// is O(1) on the per-packet path.
+	cumRate [256]float64
+	// active lists the QCIs seen so far; the ticker only walks these.
+	active []uint8
+	seen   [256]bool
 
 	Dropped   uint64
 	Forwarded uint64
@@ -58,8 +67,6 @@ func NewLoadDropper(sched *sim.Scheduler, capacityBps float64, next Node, rng *s
 		Onset:       0.5,
 		MaxSoftLoss: 0.22,
 		Window:      100 * time.Millisecond,
-		binBytes:    make(map[uint8]float64),
-		rateBps:     make(map[uint8]float64),
 	}
 }
 
@@ -73,12 +80,22 @@ func (d *LoadDropper) Start() {
 	const alpha = 0.3
 	d.Sched.Ticker(d.Window, d.Window, func(sim.Time) {
 		secs := d.Window.Seconds()
-		for qci, bytes := range d.binBytes {
-			inst := bytes * 8 / secs
+		for _, qci := range d.active {
+			inst := d.binBytes[qci] * 8 / secs
 			d.rateBps[qci] = alpha*inst + (1-alpha)*d.rateBps[qci]
 			d.binBytes[qci] = 0
 		}
+		d.refreshCum()
 	})
+}
+
+// refreshCum recomputes the priority-prefix sums of rateBps.
+func (d *LoadDropper) refreshCum() {
+	var cum float64
+	for q := 0; q < 256; q++ {
+		cum += d.rateBps[q]
+		d.cumRate[q] = cum
+	}
 }
 
 // utilization returns the offered load from classes with priority >=
@@ -87,13 +104,7 @@ func (d *LoadDropper) utilization(qci uint8) float64 {
 	if d.CapacityBps <= 0 {
 		return 0
 	}
-	var offered float64
-	for q, r := range d.rateBps {
-		if q <= qci {
-			offered += r
-		}
-	}
-	return offered / d.CapacityBps
+	return d.cumRate[qci] / d.CapacityBps
 }
 
 // DropProb returns the current drop probability for a class.
@@ -119,6 +130,10 @@ func (d *LoadDropper) DropProb(qci uint8) float64 {
 
 // Recv implements Node.
 func (d *LoadDropper) Recv(p *Packet) {
+	if !d.seen[p.QCI] {
+		d.seen[p.QCI] = true
+		d.active = append(d.active, p.QCI)
+	}
 	d.binBytes[p.QCI] += float64(p.Size)
 	if d.RNG != nil && d.RNG.Float64() < d.DropProb(p.QCI) {
 		d.Dropped++

@@ -111,17 +111,22 @@ func TestLoadDropperNilRNGForwards(t *testing.T) {
 func TestLoadDropperDropProbShape(t *testing.T) {
 	s := sim.NewScheduler()
 	d := NewLoadDropper(s, 100e6, nil, sim.NewRNG(4))
-	// Inject synthetic rates directly.
-	d.rateBps[9] = 40e6
+	// Inject synthetic rates directly (refreshing the prefix sums the
+	// ticker would otherwise maintain).
+	setRate := func(qci uint8, bps float64) {
+		d.rateBps[qci] = bps
+		d.refreshCum()
+	}
+	setRate(9, 40e6)
 	if p := d.DropProb(9); p != 0 {
 		t.Fatalf("p(0.4) = %v, want 0", p)
 	}
-	d.rateBps[9] = 75e6
+	setRate(9, 75e6)
 	mid := d.DropProb(9)
 	if mid <= 0 || mid >= d.MaxSoftLoss {
 		t.Fatalf("p(0.75) = %v, want in (0, max)", mid)
 	}
-	d.rateBps[9] = 200e6
+	setRate(9, 200e6)
 	if p := d.DropProb(9); p < 0.5 {
 		t.Fatalf("p(2.0) = %v, want >= 1-1/2", p)
 	}
@@ -130,7 +135,7 @@ func TestLoadDropperDropProbShape(t *testing.T) {
 		t.Fatalf("p(QCI5) = %v, want 0 (only QCI9 loaded)", p)
 	}
 	// Equal priority load counts.
-	d.rateBps[3] = 200e6
+	setRate(3, 200e6)
 	if p := d.DropProb(5); p < 0.4 {
 		t.Fatalf("p(QCI5 with QCI3 overload) = %v", p)
 	}

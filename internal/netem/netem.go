@@ -109,7 +109,14 @@ type PacketPool struct {
 	// Gets/Reuses count pool traffic for allocation diagnostics.
 	Gets   uint64
 	Reuses uint64
+	// Drops counts packets discarded at Put because the free list sat
+	// at packetPoolCap: the burst's high-water mark goes to the GC
+	// instead of staying pinned for the rest of the cycle.
+	Drops uint64
 }
+
+// packetPoolCap bounds the pool's free list; see PacketPool.Drops.
+const packetPoolCap = 1 << 16
 
 // Get returns a zeroed packet, reusing a recycled struct when one is
 // available.
@@ -133,6 +140,10 @@ func (pp *PacketPool) Get() *Packet {
 // consumer or dropped). The caller must not touch p afterwards.
 func (pp *PacketPool) Put(p *Packet) {
 	if pp == nil || p == nil {
+		return
+	}
+	if len(pp.free) >= packetPoolCap {
+		pp.Drops++
 		return
 	}
 	pp.free = append(pp.free, p)
@@ -230,6 +241,21 @@ type Link struct {
 	inFlight    *Packet
 	gateRetryFn func()
 	txDoneFn    func()
+
+	// ring is the FIFO of packets on the wire: transmitted and
+	// loss-checked, awaiting delivery after Delay. Deliveries share
+	// the single cached pooled callback deliverFn instead of closing
+	// over each packet; see propagate for why FIFO pairing preserves
+	// the exact (time, seq) delivery schedule. The buffer is a
+	// power-of-two circular queue.
+	ring      []*Packet
+	ringHead  int
+	ringLen   int
+	deliverFn func()
+
+	// evictIdx is scratch for evictLowerPriority, reused across
+	// overflows so the queue-overflow path does not allocate.
+	evictIdx []int
 }
 
 // NewLink returns a ready link. Loss defaults to NoLoss.
@@ -284,21 +310,26 @@ func (l *Link) evictLowerPriority(pkt *Packet) bool {
 		return true
 	}
 	// Scan from the back (lowest priority sits last due to priority
-	// insertion) marking evictable packets.
+	// insertion) marking evictable packets. evictIdx collects the
+	// victims in descending index order.
 	freed := 0
-	drop := make(map[int]bool, 2)
+	l.evictIdx = l.evictIdx[:0]
 	for i := len(l.queue) - 1; i >= 0 && freed < need; i-- {
 		if l.queue[i].QCI > pkt.QCI {
 			freed += l.queue[i].Size
-			drop[i] = true
+			l.evictIdx = append(l.evictIdx, i)
 		}
 	}
 	if freed < need {
 		return false
 	}
-	keep := make([]*Packet, 0, len(l.queue)-len(drop))
+	// Compact in place: evictIdx is descending, so its last entry is
+	// the smallest victim index.
+	next := len(l.evictIdx) - 1
+	keep := l.queue[:0]
 	for i, q := range l.queue {
-		if drop[i] {
+		if next >= 0 && i == l.evictIdx[next] {
+			next--
 			l.queuedBytes -= q.Size
 			l.Stats.QueueDrops++
 			l.Stats.QueueDropped += uint64(q.Size)
@@ -306,6 +337,9 @@ func (l *Link) evictLowerPriority(pkt *Packet) bool {
 			continue
 		}
 		keep = append(keep, q)
+	}
+	for i := len(keep); i < len(l.queue); i++ {
+		l.queue[i] = nil
 	}
 	l.queue = keep
 	return true
@@ -337,7 +371,16 @@ func (l *Link) kick() {
 		return
 	}
 	pkt := l.queue[0]
-	l.queue = l.queue[1:]
+	l.queue[0] = nil
+	if len(l.queue) == 1 {
+		// Drained: rewind to the backing array's start so steady-state
+		// enqueue/dequeue churn reuses it. Advancing the base with
+		// queue[1:] here would erode the capacity and make the next
+		// append reallocate — one hidden allocation per packet.
+		l.queue = l.queue[:0]
+	} else {
+		l.queue = l.queue[1:]
+	}
 	l.queuedBytes -= pkt.Size
 	l.transmitting = true
 	tx := time.Duration(0)
@@ -383,6 +426,18 @@ func (l *Link) txDone() func() {
 }
 
 // propagate applies the loss model and delivers after Delay.
+//
+// Delayed deliveries ride the link's FIFO ring: the packet is pushed
+// here and a pooled event — sharing the cached deliverFn rather than
+// closing over the packet — is scheduled for now+Delay. The event's
+// scheduler seq is reserved by AfterPooled at this moment, exactly
+// when the per-packet closure used to reserve it, and simulated time
+// never decreases while Delay is fixed per link, so delivery events
+// fire in enqueue order and each firing pops the packet enqueued with
+// it. The (time, seq) delivery schedule is therefore bit-for-bit what
+// the closure version produced, without the per-packet allocation.
+// (Mutating Delay while packets are in flight would break the FIFO
+// pairing; no caller does.)
 func (l *Link) propagate(pkt *Packet) {
 	if l.Loss != nil && l.Loss.Drop(pkt, l.Sched.Now()) {
 		l.Stats.LossDrops++
@@ -390,18 +445,61 @@ func (l *Link) propagate(pkt *Packet) {
 		l.Pool.Put(pkt)
 		return
 	}
-	deliver := func() {
-		l.Stats.OutPackets++
-		l.Stats.OutBytes += uint64(pkt.Size)
-		if l.Dst != nil {
-			l.Dst.Recv(pkt)
-		}
-	}
 	if l.Delay > 0 {
-		l.Sched.AfterPooled(l.Delay, deliver)
+		l.ringPush(pkt)
+		if l.deliverFn == nil {
+			l.deliverFn = func() { l.deliver(l.ringPop()) }
+		}
+		l.Sched.AfterPooled(l.Delay, l.deliverFn)
 	} else {
-		deliver()
+		l.deliver(pkt)
 	}
+}
+
+// deliver hands the packet to the destination, counting it out.
+func (l *Link) deliver(pkt *Packet) {
+	l.Stats.OutPackets++
+	l.Stats.OutBytes += uint64(pkt.Size)
+	if l.Dst != nil {
+		l.Dst.Recv(pkt)
+	}
+}
+
+// InFlight returns the number of packets propagating on the wire
+// (transmitted, not yet delivered).
+func (l *Link) InFlight() int { return l.ringLen }
+
+// ringPush appends to the delivery ring, growing it when full.
+func (l *Link) ringPush(p *Packet) {
+	if l.ringLen == len(l.ring) {
+		l.ringGrow()
+	}
+	l.ring[(l.ringHead+l.ringLen)&(len(l.ring)-1)] = p
+	l.ringLen++
+}
+
+// ringPop removes and returns the oldest in-flight packet.
+func (l *Link) ringPop() *Packet {
+	p := l.ring[l.ringHead]
+	l.ring[l.ringHead] = nil
+	l.ringHead = (l.ringHead + 1) & (len(l.ring) - 1)
+	l.ringLen--
+	return p
+}
+
+// ringGrow doubles the ring (16 slots minimum), unwrapping the FIFO to
+// the front of the new buffer.
+func (l *Link) ringGrow() {
+	n := len(l.ring) * 2
+	if n == 0 {
+		n = 16
+	}
+	buf := make([]*Packet, n)
+	for i := 0; i < l.ringLen; i++ {
+		buf[i] = l.ring[(l.ringHead+i)&(len(l.ring)-1)]
+	}
+	l.ring = buf
+	l.ringHead = 0
 }
 
 // Kick re-evaluates the transmitter; the RAN calls it when a gate

@@ -9,6 +9,11 @@
 #   sweep      — parallel sweep engine smoke: ordering, panic
 #                propagation and figure parity under the race detector
 #   test -race — full test suite under the race detector
+#   allocs     — testing.AllocsPerRun guards for the event-engine hot
+#                paths; these skip themselves under -race (its
+#                instrumentation perturbs counts), so they need this
+#                separate non-race pass
+#   bench 1x   — every benchmark compiles and survives one iteration
 set -eu
 cd "$(dirname "$0")"
 
@@ -17,3 +22,5 @@ go vet ./...
 go run ./cmd/tlcvet ./...
 go test -run Parallel -race ./internal/experiment
 go test -race ./...
+go test -run ZeroAlloc ./internal/sim ./internal/netem
+go test -run '^$' -bench . -benchtime 1x ./...
