@@ -7,7 +7,13 @@
 //	tlcbench -experiment fig12 -duration 60s -seeds 3
 //	tlcbench -experiment fig12,table2 -workers -1 -json bench.json
 //	tlcbench -experiment table2 -cpuprofile cpu.pprof
+//	tlcbench -experiment faults -duration 30s -seeds 3
 //	tlcbench -list
+//
+// The "faults" experiment is the deterministic fault-injection sweep
+// (internal/faults): charging-gap metrics across fault intensity
+// levels plus the byzantine negotiation battery, whose
+// byz_forged_verified metric must always be zero.
 //
 // -workers fans each experiment's independent testbed cells across a
 // worker pool (0 sequential, -1 one per CPU); the regenerated output

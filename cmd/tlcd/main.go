@@ -10,6 +10,15 @@
 //	tlcd -role operator -listen :7075 -sent 1000000 -received 930000
 //	tlcd -role edge -connect localhost:7075 -sent 1000000 -received 930000 \
 //	     -proof-out cycle.poc
+//
+// The -faults flag injects seeded stream faults (corrupted reads,
+// truncated writes, write stalls) into the live connection, and
+// -retries lets the edge re-dial through them with exponential
+// backoff:
+//
+//	tlcd -role edge -connect localhost:7075 -sent 1000000 -received 930000 \
+//	     -faults corrupt=0.01,truncate=0.02,stall=0.05,stallfor=20ms \
+//	     -fault-seed 7 -retries 5
 package main
 
 import (
@@ -17,13 +26,16 @@ import (
 	"crypto/x509"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
 	"time"
 
 	"tlc"
+	"tlc/internal/faults"
 	"tlc/internal/protocol"
+	"tlc/internal/sim"
 )
 
 func main() {
@@ -39,8 +51,21 @@ func main() {
 		keyPath  = flag.String("key", "", "own private key PEM (from tlckeys); generated if empty")
 		proofOut = flag.String("proof-out", "", "write the settled proof here")
 		once     = flag.Bool("once", true, "operator: exit after one negotiation")
+		faultStr = flag.String("faults", "", "stream fault spec, e.g. corrupt=0.01,truncate=0.02,stall=0.05,stallfor=20ms (see internal/faults)")
+		faultSd  = flag.Int64("fault-seed", 1, "seed for the injected fault stream (same seed+spec replays identically)")
+		retries  = flag.Int("retries", 1, "edge: dial+settle attempts; transient faults back off exponentially")
 	)
 	flag.Parse()
+
+	var spec *faults.Spec
+	if *faultStr != "" {
+		s, err := faults.Parse(*faultStr)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		s = s.WithDefaults()
+		spec = &s
+	}
 
 	strat := tlc.Optimal
 	switch *strategy {
@@ -69,20 +94,34 @@ func main() {
 
 	switch *role {
 	case "operator":
-		runOperator(*listen, plan, keys, usage, strat, *proofOut, *once)
+		runOperator(*listen, plan, keys, usage, strat, *proofOut, *once, spec, *faultSd)
 	case "edge":
 		if *connect == "" {
 			log.Fatal("edge role requires -connect")
 		}
-		runEdge(*connect, plan, keys, usage, strat, *proofOut)
+		runEdge(*connect, plan, keys, usage, strat, *proofOut, spec, *faultSd, *retries)
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
 }
 
+// wrapFaults interposes the seeded fault-injecting stream when the
+// spec carries stream faults; otherwise the connection passes through
+// untouched.
+func wrapFaults(conn net.Conn, spec *faults.Spec, seed int64) (io.ReadWriter, *faults.Trace) {
+	if spec == nil || !spec.StreamActive() {
+		return conn, nil
+	}
+	tr := &faults.Trace{}
+	return &faults.Conn{
+		Inner: conn, Spec: *spec, RNG: sim.NewRNG(seed), Trace: tr,
+		Stall: time.Sleep,
+	}, tr
+}
+
 // exchangeKeys swaps PKIX-encoded public keys over the connection:
 // each side writes its key as one frame and reads the peer's.
-func exchangeKeys(conn net.Conn, own *rsa.PublicKey) (*rsa.PublicKey, error) {
+func exchangeKeys(conn io.ReadWriter, own *rsa.PublicKey) (*rsa.PublicKey, error) {
 	der, err := x509.MarshalPKIXPublicKey(own)
 	if err != nil {
 		return nil, err
@@ -105,7 +144,7 @@ func exchangeKeys(conn net.Conn, own *rsa.PublicKey) (*rsa.PublicKey, error) {
 	return rsaPub, nil
 }
 
-func settle(conn net.Conn, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
+func settle(conn io.ReadWriter, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
 	usage tlc.Usage, strat tlc.Strategy, initiate bool, proofOut string) error {
 	peerKey, err := exchangeKeys(conn, keys.Public())
 	if err != nil {
@@ -128,7 +167,7 @@ func settle(conn net.Conn, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
 }
 
 func runOperator(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
-	strat tlc.Strategy, proofOut string, once bool) {
+	strat tlc.Strategy, proofOut string, once bool, spec *faults.Spec, faultSeed int64) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
@@ -147,8 +186,12 @@ func runOperator(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
 				log.Printf("set deadline for %s: %v", conn.RemoteAddr(), err)
 				return
 			}
-			if err := settle(conn, tlc.Operator, plan, keys, usage, strat, true, proofOut); err != nil {
+			rw, tr := wrapFaults(conn, spec, faultSeed)
+			if err := settle(rw, tlc.Operator, plan, keys, usage, strat, true, proofOut); err != nil {
 				log.Printf("negotiation with %s failed: %v", conn.RemoteAddr(), err)
+			}
+			if tr != nil {
+				log.Printf("fault injection: %s", tr.Summary())
 			}
 		}()
 		if once {
@@ -158,16 +201,34 @@ func runOperator(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
 }
 
 func runEdge(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
-	strat tlc.Strategy, proofOut string) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	strat tlc.Strategy, proofOut string, spec *faults.Spec, faultSeed int64, retries int) {
+	start := time.Now()
+	r := &protocol.Retrier{
+		MaxAttempts: retries,
+		Sleep:       time.Sleep,
+		Elapsed:     func() time.Duration { return time.Since(start) },
+	}
+	attempts := 0
+	err := r.Do(func(attempt int) error {
+		attempts++
+		conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+		if err != nil {
+			return err
+		}
+		defer conn.Close() //tlcvet:allow errdiscard — negotiation already settled or failed; close is cleanup
+		if err := conn.SetDeadline(time.Now().Add(time.Minute)); err != nil {
+			return err
+		}
+		// A fresh fault stream per attempt, seeded off the attempt
+		// index so replays of the whole retry sequence are identical.
+		rw, tr := wrapFaults(conn, spec, faultSeed+int64(attempt))
+		serr := settle(rw, tlc.Edge, plan, keys, usage, strat, false, proofOut)
+		if tr != nil {
+			log.Printf("attempt %d fault injection: %s", attempt+1, tr.Summary())
+		}
+		return serr
+	})
 	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close() //tlcvet:allow errdiscard — negotiation already settled or failed; close is cleanup
-	if err := conn.SetDeadline(time.Now().Add(time.Minute)); err != nil {
-		log.Fatalf("set deadline: %v", err)
-	}
-	if err := settle(conn, tlc.Edge, plan, keys, usage, strat, false, proofOut); err != nil {
-		log.Fatal(err)
+		log.Fatalf("after %d attempt(s): %v", attempts, err)
 	}
 }

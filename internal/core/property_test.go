@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tlc/internal/sim"
+)
+
+// fixedClaim always claims a constant volume and accepts anything
+// passing the cross-check; used to probe Negotiate's response to one
+// claim varying while everything else is pinned.
+type fixedClaim struct{ v float64 }
+
+func (fixedClaim) Name() string { return "fixed" }
+func (s fixedClaim) Claim(_ Role, _ View, b Bounds, _ int, _ *sim.RNG) float64 {
+	return b.ClampInside(s.v)
+}
+func (s fixedClaim) Decide(role Role, view View, _, other float64, _ int, _ *sim.RNG) bool {
+	return crossCheckAccept(role, view, other, DefaultTolerance)
+}
+
+// TestPropertyChargeMonotoneAndBounded: across randomized claim
+// grids, Charge is monotone non-decreasing in each claim and the
+// result lies inside [min(xe,xo), max(xe,xo)] for every c in [0,1].
+func TestPropertyChargeMonotoneAndBounded(t *testing.T) {
+	rng := sim.NewRNG(20260805)
+	for i := 0; i < 20000; i++ {
+		c := rng.Float64()
+		xe := rng.Uniform(0, 1e9)
+		xo := rng.Uniform(0, 1e9)
+		x := Charge(c, xe, xo)
+
+		lo, hi := math.Min(xe, xo), math.Max(xe, xo)
+		if x < lo-1e-6 || x > hi+1e-6 {
+			t.Fatalf("c=%v xe=%v xo=%v: X=%v escapes [%v,%v]", c, xe, xo, x, lo, hi)
+		}
+
+		// Monotone in each argument.
+		bump := rng.Uniform(0, 1e8)
+		if Charge(c, xe+bump, xo) < x-1e-6 {
+			t.Fatalf("c=%v: raising xe %v->%v lowered X", c, xe, xe+bump)
+		}
+		if Charge(c, xe, xo+bump) < x-1e-6 {
+			t.Fatalf("c=%v: raising xo %v->%v lowered X", c, xo, xo+bump)
+		}
+	}
+}
+
+// TestPropertyNegotiatedMonotoneInClaim: holding the operator's claim
+// fixed, a larger edge claim never lowers the settled volume (and
+// symmetrically for the operator). Claims stay inside the acceptance
+// region so every negotiation settles in one round.
+func TestPropertyNegotiatedMonotoneInClaim(t *testing.T) {
+	rng := sim.NewRNG(77)
+	for i := 0; i < 2000; i++ {
+		sent := rng.Uniform(1e5, 1e8)
+		loss := rng.Uniform(0, 0.3)
+		received := sent * (1 - loss)
+		view := View{Sent: sent, Received: received}
+		c := rng.Float64()
+
+		opClaim := rng.Uniform(received, sent)
+		e1 := rng.Uniform(received, sent)
+		e2 := rng.Uniform(e1, sent) // e2 >= e1
+
+		settle := func(edgeClaim float64) float64 {
+			out, err := Negotiate(Config{
+				C:    c,
+				Edge: fixedClaim{edgeClaim}, Operator: fixedClaim{opClaim},
+				EdgeView: view, OperatorView: view,
+				RNG: sim.NewRNG(1),
+			})
+			if err != nil || !out.Converged {
+				t.Fatalf("no convergence: %v (claims %v/%v)", err, edgeClaim, opClaim)
+			}
+			return out.X
+		}
+		if x1, x2 := settle(e1), settle(e2); x2 < x1-1e-6 {
+			t.Fatalf("edge claim %v->%v lowered X %v->%v", e1, e2, x1, x2)
+		}
+	}
+}
+
+// TestPropertyNegotiationBoundedByRecords: across randomized loss
+// grids and every built-in strategy pairing, a converged negotiation
+// lands within the game bound [received·(1−tol), sent·(1+tol)] —
+// Theorem 2's guarantee that neither loss nor selfishness moves the
+// bill outside what the records support.
+func TestPropertyNegotiationBoundedByRecords(t *testing.T) {
+	strategies := []Strategy{
+		HonestStrategy{}, OptimalStrategy{}, RandomSelfishStrategy{},
+	}
+	rng := sim.NewRNG(4242)
+	const tol = DefaultTolerance
+	for i := 0; i < 600; i++ {
+		sent := rng.Uniform(1e4, 1e9)
+		loss := rng.Uniform(0, 0.5)
+		received := sent * (1 - loss)
+		view := View{Sent: sent, Received: received}
+		c := rng.Float64()
+		for _, es := range strategies {
+			for _, os := range strategies {
+				out, err := Negotiate(Config{
+					C:    c,
+					Edge: es, Operator: os,
+					EdgeView: view, OperatorView: view,
+					MaxRounds: 256,
+					RNG:       rng.Fork("pair"),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !out.Converged {
+					t.Fatalf("%s vs %s did not converge (sent=%v recv=%v c=%v)",
+						es.Name(), os.Name(), sent, received, c)
+				}
+				lo := received * (1 - tol)
+				hi := sent * (1 + tol)
+				if out.X < lo-1e-6 || out.X > hi+1e-6 {
+					t.Fatalf("%s vs %s: X=%v escapes [%v,%v] (sent=%v recv=%v c=%v)",
+						es.Name(), os.Name(), out.X, lo, hi, sent, received, c)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyHonestFixedPoint: with both parties honest and sharing
+// ground truth, one round settles at the paper's fixed point x̂ = x̂o +
+// c·(x̂e − x̂o) exactly (Equation 1).
+func TestPropertyHonestFixedPoint(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for i := 0; i < 5000; i++ {
+		sent := rng.Uniform(1, 1e9)
+		received := sent * (1 - rng.Uniform(0, 0.6))
+		c := rng.Float64()
+		view := View{Sent: sent, Received: received}
+		out, err := Negotiate(Config{
+			C:    c,
+			Edge: HonestStrategy{}, Operator: HonestStrategy{},
+			EdgeView: view, OperatorView: view,
+			RNG: sim.NewRNG(int64(i)),
+		})
+		if err != nil || !out.Converged {
+			t.Fatalf("honest pair failed: %v", err)
+		}
+		if out.Rounds != 1 {
+			t.Fatalf("honest pair took %d rounds", out.Rounds)
+		}
+		want := Expected(c, sent, received)
+		if out.X != want {
+			t.Fatalf("X=%v, want fixed point %v (sent=%v recv=%v c=%v)", out.X, want, sent, received, c)
+		}
+	}
+}

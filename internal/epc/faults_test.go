@@ -1,0 +1,141 @@
+package epc
+
+import (
+	"testing"
+	"time"
+
+	"tlc/internal/netem"
+	"tlc/internal/sim"
+)
+
+func TestOFCSCrashRollsBackLossWindow(t *testing.T) {
+	o := NewOFCS()
+	mk := func(ul, dl uint64) *CDR {
+		return &CDR{ServedIMSI: "imsi-1", DataVolumeUplink: ul, DataVolumeDownlink: dl}
+	}
+	o.CollectAt(mk(100, 10), 1*time.Second)
+	o.CollectAt(mk(200, 20), 2*time.Second)
+	o.CollectAt(mk(300, 30), 3*time.Second)
+	o.CollectAt(mk(400, 40), 4*time.Second)
+
+	// Crash at t=4s with a 2s window: records stamped >= 2s are lost.
+	lost := o.Crash(4*time.Second, 2*time.Second)
+	if lost != 3 {
+		t.Fatalf("lost %d records, want 3", lost)
+	}
+	u, ok := o.UsageFor("imsi-1")
+	if !ok || u.UL != 100 || u.DL != 10 || u.Records != 1 {
+		t.Fatalf("post-crash usage %+v", u)
+	}
+	if o.Records() != 1 {
+		t.Fatalf("post-crash records %d, want 1", o.Records())
+	}
+	if !o.Down() || o.Crashes() != 1 {
+		t.Fatalf("down=%v crashes=%d", o.Down(), o.Crashes())
+	}
+
+	// While down, collection is lost, not stored.
+	o.CollectAt(mk(500, 50), 5*time.Second)
+	if o.Records() != 1 {
+		t.Fatal("record accepted while down")
+	}
+	if o.LostRecords() != 4 {
+		t.Fatalf("LostRecords %d, want 4", o.LostRecords())
+	}
+	wantBytes := uint64(200 + 20 + 300 + 30 + 400 + 40 + 500 + 50)
+	if o.LostBytes() != wantBytes {
+		t.Fatalf("LostBytes %d, want %d", o.LostBytes(), wantBytes)
+	}
+
+	// After restart, collection resumes.
+	o.Restart()
+	o.CollectAt(mk(600, 60), 6*time.Second)
+	if o.Records() != 2 {
+		t.Fatalf("post-restart records %d, want 2", o.Records())
+	}
+	u, _ = o.UsageFor("imsi-1")
+	if u.UL != 700 || u.Records != 2 {
+		t.Fatalf("post-restart usage %+v", u)
+	}
+}
+
+func TestOFCSCrashKeepsQuotaTrip(t *testing.T) {
+	o := NewOFCS()
+	o.SetPlan(Plan{QuotaBytes: 50})
+	fired := 0
+	o.OnQuotaExceeded = func(string, uint64) { fired++ }
+	o.CollectAt(&CDR{ServedIMSI: "x", DataVolumeUplink: 80}, time.Second)
+	if fired != 1 || !o.QuotaExceeded("x") {
+		t.Fatalf("quota not tripped: fired=%d", fired)
+	}
+	o.Crash(time.Second, time.Second)
+	if !o.QuotaExceeded("x") {
+		t.Fatal("crash rolled back a quota trip")
+	}
+}
+
+// TestSPGWRestartMeters: restart discards unflushed usage, resets
+// baselines, and the next flush charges only post-restart traffic —
+// no uint64 underflow in the CDR deltas.
+func TestSPGWRestartMeters(t *testing.T) {
+	s := sim.NewScheduler()
+	mme := NewMME(s)
+	g := NewSPGW(s, "gw", mme, nil)
+	g.OFCS = NewOFCS()
+	mme.Attach("ue1")
+
+	push := func(size int) {
+		g.ULNode().Recv(&netem.Packet{IMSI: "ue1", Size: size})
+	}
+	push(1000)
+	s.RunUntil(time.Second)
+	g.FlushCDRs(s.Now()) // flush: baseline 1000
+	push(500)            // unflushed 500
+
+	lost := g.RestartMeters()
+	if lost != 500 {
+		t.Fatalf("restart lost %d bytes, want 500", lost)
+	}
+	if g.Restarts() != 1 || g.RestartLostBytes() != 500 {
+		t.Fatalf("restart counters: %d, %d", g.Restarts(), g.RestartLostBytes())
+	}
+	if got := g.MeteredUL("ue1"); got != 0 {
+		t.Fatalf("post-restart meter %d, want 0", got)
+	}
+
+	push(200)
+	g.FlushCDRs(s.Now())
+	u, ok := g.OFCS.UsageFor(FormatIMSITrace("ue1"))
+	if !ok {
+		t.Fatal("no usage after restart flush")
+	}
+	// 1000 flushed pre-restart + 200 post-restart; the 500 unflushed
+	// bytes are gone and must not reappear as a huge underflowed delta.
+	if u.UL != 1200 {
+		t.Fatalf("charged UL %d, want 1200", u.UL)
+	}
+}
+
+// TestSPGWFlushClampsForeignMeterReset guards the defensive clamp: a
+// meter swapped below the baseline must not underflow the delta.
+func TestSPGWFlushClampsForeignMeterReset(t *testing.T) {
+	s := sim.NewScheduler()
+	mme := NewMME(s)
+	g := NewSPGW(s, "gw", mme, nil)
+	g.OFCS = NewOFCS()
+	mme.Attach("ue1")
+	g.ULNode().Recv(&netem.Packet{IMSI: "ue1", Size: 1000})
+	g.FlushCDRs(s.Now())
+
+	// Swap the meter out from under the gateway (not via RestartMeters,
+	// which resets baselines itself).
+	sess := g.session("ue1")
+	sess.ulMeter = netem.NewMeter("rogue", s, nil)
+	sess.ulMeter.Recv(&netem.Packet{IMSI: "ue1", Size: 10})
+
+	g.FlushCDRs(s.Now())
+	u, _ := g.OFCS.UsageFor(FormatIMSITrace("ue1"))
+	if u.UL > 2000 {
+		t.Fatalf("delta underflowed: charged %d", u.UL)
+	}
+}

@@ -1,6 +1,11 @@
 package epc
 
-import "sort"
+import (
+	"sort"
+	"time"
+
+	"tlc/internal/sim"
+)
 
 // OFCS is the offline charging system (CDF in 4G, CHF in 5G): it
 // collects CDRs from the gateway, aggregates them into per-subscriber
@@ -18,6 +23,20 @@ type OFCS struct {
 	cdrs     []*CDR
 	usage    map[string]*Usage
 	exceeded map[string]bool
+
+	// collectedAt stamps when each cdrs[i] arrived, so a crash can
+	// roll back exactly the records inside its loss window.
+	collectedAt []sim.Time
+
+	// Crash/restart state (component fault injection). While down the
+	// OFCS silently discards incoming CDRs — the gateway keeps
+	// emitting, the records are simply lost, and the charging policy
+	// degrades to whatever survived rather than panicking.
+	down              bool
+	crashes           int
+	lostWhileDown     int
+	lostWindowRecords int
+	lostBytes         uint64
 }
 
 // Usage is per-subscriber aggregated usage.
@@ -48,9 +67,21 @@ func (o *OFCS) SetPlan(p Plan) {
 	o.hasPlan = true
 }
 
-// Collect ingests one CDR.
-func (o *OFCS) Collect(c *CDR) {
+// Collect ingests one CDR with no arrival stamp (time zero); callers
+// with a clock should prefer CollectAt so crash loss windows work.
+func (o *OFCS) Collect(c *CDR) { o.CollectAt(c, 0) }
+
+// CollectAt ingests one CDR stamped with its arrival time. While the
+// OFCS is down (crashed, not yet restarted) the record is counted
+// lost and dropped.
+func (o *OFCS) CollectAt(c *CDR, now sim.Time) {
+	if o.down {
+		o.lostWhileDown++
+		o.lostBytes += c.DataVolumeUplink + c.DataVolumeDownlink
+		return
+	}
 	o.cdrs = append(o.cdrs, c)
+	o.collectedAt = append(o.collectedAt, now)
 	u, ok := o.usage[c.ServedIMSI]
 	if !ok {
 		u = &Usage{IMSI: c.ServedIMSI}
@@ -103,3 +134,53 @@ func (o *OFCS) Subscribers() []string {
 
 // QuotaExceeded reports whether a subscriber passed the plan quota.
 func (o *OFCS) QuotaExceeded(imsi string) bool { return o.exceeded[imsi] }
+
+// Crash simulates the charging collector dying at time now: records
+// collected within the trailing lossWindow (not yet durably flushed)
+// are rolled out of the aggregate, and the OFCS stops accepting CDRs
+// until Restart. Returns how many records were lost from the window.
+//
+// Quota trips are deliberately NOT rolled back: a throttle action
+// already taken in the real system is not undone by losing the
+// records that justified it.
+func (o *OFCS) Crash(now sim.Time, lossWindow time.Duration) int {
+	o.down = true
+	o.crashes++
+	cutoff := now - lossWindow
+	lost := 0
+	for len(o.cdrs) > 0 {
+		i := len(o.cdrs) - 1
+		if o.collectedAt[i] < cutoff {
+			break
+		}
+		c := o.cdrs[i]
+		o.cdrs = o.cdrs[:i]
+		o.collectedAt = o.collectedAt[:i]
+		if u, ok := o.usage[c.ServedIMSI]; ok {
+			u.UL -= c.DataVolumeUplink
+			u.DL -= c.DataVolumeDownlink
+			u.Records--
+		}
+		o.lostBytes += c.DataVolumeUplink + c.DataVolumeDownlink
+		lost++
+	}
+	o.lostWindowRecords += lost
+	return lost
+}
+
+// Restart brings a crashed OFCS back: it resumes collecting, with
+// whatever records survived the crash as its state.
+func (o *OFCS) Restart() { o.down = false }
+
+// Down reports whether the OFCS is currently crashed.
+func (o *OFCS) Down() bool { return o.down }
+
+// Crashes returns how many times the OFCS crashed.
+func (o *OFCS) Crashes() int { return o.crashes }
+
+// LostRecords returns CDRs lost to crashes: rolled out of the loss
+// window plus discarded while down.
+func (o *OFCS) LostRecords() int { return o.lostWindowRecords + o.lostWhileDown }
+
+// LostBytes returns the charged volume those lost records carried.
+func (o *OFCS) LostBytes() uint64 { return o.lostBytes }

@@ -65,6 +65,11 @@ type SPGW struct {
 	nextID   uint32
 	started  bool
 
+	// Meter-restart fault state: how many times RestartMeters ran and
+	// how many metered-but-unflushed bytes each restart discarded.
+	restarts      int
+	restartLostBy uint64
+
 	// cdrArena allocates CDRs in fixed-capacity blocks. Emitting one
 	// record per second per session makes *CDR the gateway's hottest
 	// allocation; blocks amortise it ~64× while keeping the pointers
@@ -136,6 +141,16 @@ func (g *SPGW) FlushCDRs(now sim.Time) {
 	}
 	for _, s := range g.sessions {
 		ul, dl := s.ulMeter.TotalBytes(), s.dlMeter.TotalBytes()
+		// Defensive clamp: a meter that restarted below the last CDR
+		// baseline must not underflow the uint64 delta. RestartMeters
+		// already resets the baselines, so this only fires if a meter
+		// is swapped out behind the gateway's back.
+		if ul < s.lastCDRUL {
+			s.lastCDRUL = ul
+		}
+		if dl < s.lastCDRDL {
+			s.lastCDRDL = dl
+		}
 		if ul == s.lastCDRUL && dl == s.lastCDRDL {
 			continue
 		}
@@ -152,9 +167,45 @@ func (g *SPGW) FlushCDRs(now sim.Time) {
 		})
 		s.seq++
 		s.lastCDRUL, s.lastCDRDL = ul, dl
-		g.OFCS.Collect(cdr)
+		g.OFCS.CollectAt(cdr, now)
 	}
 }
+
+// RestartMeters simulates the gateway's metering process restarting
+// mid-cycle: every session gets fresh meters, and usage metered since
+// the last CDR flush is lost (the OFCS's flushed records remain the
+// durable copy — exactly the degradation the paper's charging
+// architecture implies). Returns the unflushed bytes discarded.
+func (g *SPGW) RestartMeters() (lostBytes uint64) {
+	for _, s := range g.sessions {
+		ul, dl := s.ulMeter.TotalBytes(), s.dlMeter.TotalBytes()
+		if ul > s.lastCDRUL {
+			lostBytes += ul - s.lastCDRUL
+		}
+		if dl > s.lastCDRDL {
+			lostBytes += dl - s.lastCDRDL
+		}
+		s.ulMeter = netem.NewMeter("spgw-ul-"+s.imsi, g.Sched, nil)
+		s.dlMeter = netem.NewMeter("spgw-dl-"+s.imsi, g.Sched, nil)
+		if g.MeterHorizon > 0 {
+			s.ulMeter.Reserve(g.MeterHorizon)
+			s.dlMeter.Reserve(g.MeterHorizon)
+		}
+		// Fresh meters count from zero; reset the CDR baselines so the
+		// next flush charges only post-restart usage.
+		s.lastCDRUL, s.lastCDRDL = 0, 0
+	}
+	g.restarts++
+	g.restartLostBy += lostBytes
+	return lostBytes
+}
+
+// Restarts returns how many times the gateway's meters restarted.
+func (g *SPGW) Restarts() int { return g.restarts }
+
+// RestartLostBytes returns metered-but-unflushed bytes discarded by
+// meter restarts.
+func (g *SPGW) RestartLostBytes() uint64 { return g.restartLostBy }
 
 func (g *SPGW) noteUsage(s *gwSession, now sim.Time) {
 	if !s.sawUsage {

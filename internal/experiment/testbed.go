@@ -25,6 +25,7 @@ import (
 	"tlc/internal/apps"
 	"tlc/internal/device"
 	"tlc/internal/epc"
+	"tlc/internal/faults"
 	"tlc/internal/monitor"
 	"tlc/internal/netem"
 	"tlc/internal/ran"
@@ -86,6 +87,14 @@ type Config struct {
 	// the paper's tcpdump/tcprelay methodology for the VR and gaming
 	// datasets.
 	UseTraceReplay bool
+
+	// Faults, when non-nil and non-zero, attaches the deterministic
+	// fault-injection subsystem (internal/faults): per-packet network
+	// faults on the downlink air and core bridge, plus scheduled OFCS
+	// crash and SPGW meter restart. A nil pointer (the zero Config)
+	// leaves every RNG fork and golden output byte-identical to a
+	// fault-free build.
+	Faults *faults.Spec
 }
 
 // RSSSpec describes the signal strength process.
@@ -202,6 +211,13 @@ type Testbed struct {
 	Dropper  *netem.LoadDropper
 	Bearers  *epc.BearerTable
 	Handover *ran.HandoverModel
+
+	// FaultTrace is non-nil exactly when Cfg.Faults is active; it
+	// records every injected fault for the determinism pin.
+	FaultTrace      *faults.Trace
+	NetFaultsDL     *faults.NetFaults
+	NetFaultsBridge *faults.NetFaults
+	faultSpec       faults.Spec
 
 	bgSources []*netem.TrafficSource
 	rssModel  ran.RSSModel
@@ -429,6 +445,23 @@ func NewTestbed(cfg Config) *Testbed {
 		tb.ULAir.Gate = gate
 	}
 
+	// ---- Fault injection ----
+	// Strictly gated: RNG.Fork consumes the parent stream, so a
+	// fault-free config must not touch tb.RNG here or every golden
+	// output downstream would shift.
+	if cfg.Faults != nil && !cfg.Faults.Zero() {
+		tb.faultSpec = cfg.Faults.WithDefaults()
+		tb.FaultTrace = &faults.Trace{}
+		if tb.faultSpec.NetworkActive() {
+			tb.NetFaultsDL = faults.NewNetFaults(tb.faultSpec,
+				tb.RNG.Fork("faults-dl"), tb.FaultTrace, "dl-air")
+			tb.DLAir.Inject = tb.NetFaultsDL
+			tb.NetFaultsBridge = faults.NewNetFaults(tb.faultSpec,
+				tb.RNG.Fork("faults-bridge"), tb.FaultTrace, "bridge")
+			tb.Bridge.Inject = tb.NetFaultsBridge
+		}
+	}
+
 	// ---- Clocks and monitors ----
 	sync := simclock.NewSyncModel(cfg.NTPPrecision, tb.RNG.Fork("ntp"))
 	tb.EdgeClock = simclock.New(sync.Residual(), tb.RNG.Fork("drift-e").Uniform(-5, 5))
@@ -497,6 +530,28 @@ func (tb *Testbed) Run() *CycleResult {
 		s.At(end, tb.BS.TriggerCounterCheck)
 	}
 
+	// Component faults fire on the same simulated clock as everything
+	// else, so they land identically at any sweep worker count.
+	if tb.FaultTrace != nil {
+		fs := tb.faultSpec
+		if fs.OFCSCrashAt > 0 {
+			s.At(fs.OFCSCrashAt, func() {
+				lost := tb.OFCS.Crash(s.Now(), fs.CDRLossWindow)
+				tb.FaultTrace.Addf(s.Now(), "ofcs crash lost=%d window=%s", lost, fs.CDRLossWindow)
+			})
+			s.At(fs.OFCSCrashAt+fs.OFCSDowntime, func() {
+				tb.OFCS.Restart()
+				tb.FaultTrace.Addf(s.Now(), "ofcs restart")
+			})
+		}
+		if fs.SPGWRestartAt > 0 {
+			s.At(fs.SPGWRestartAt, func() {
+				lost := tb.SPGW.RestartMeters()
+				tb.FaultTrace.Addf(s.Now(), "spgw meter restart lost=%d", lost)
+			})
+		}
+	}
+
 	horizon := cfg.Duration + 2*time.Second
 	s.RunUntil(horizon)
 	if tb.Streamer != nil {
@@ -545,6 +600,17 @@ type CycleResult struct {
 	// Handovers and HandoverLostBytes record mobility effects.
 	Handovers         uint64
 	HandoverLostBytes uint64
+
+	// Fault-injection outcomes; all zero when Cfg.Faults is nil.
+	FaultDrops      uint64 // packets dropped by injected bursts
+	FaultDups       uint64
+	FaultDelays     uint64 // spikes + reorder holds
+	LostCDRs        int    // records lost to OFCS crashes
+	OFCSCrashes     int
+	GatewayRestarts int
+	MeterLostBytes  uint64 // unflushed bytes lost to meter restarts
+	FaultTraceLen   int
+	FaultTraceHash  uint64
 }
 
 // collect computes the cycle's measurements.
@@ -587,6 +653,19 @@ func (tb *Testbed) collect() *CycleResult {
 	if tb.Handover != nil {
 		r.Handovers = tb.Handover.Handovers()
 		_, r.HandoverLostBytes = tb.Handover.Lost()
+	}
+	if tb.FaultTrace != nil {
+		for _, l := range []*netem.Link{tb.DLAir, tb.Bridge} {
+			r.FaultDrops += l.Stats.FaultDrops
+			r.FaultDups += l.Stats.FaultDups
+			r.FaultDelays += l.Stats.FaultDelays
+		}
+		r.LostCDRs = tb.OFCS.LostRecords()
+		r.OFCSCrashes = tb.OFCS.Crashes()
+		r.GatewayRestarts = tb.SPGW.Restarts()
+		r.MeterLostBytes = tb.SPGW.RestartLostBytes()
+		r.FaultTraceLen = tb.FaultTrace.Len()
+		r.FaultTraceHash = tb.FaultTrace.Hash()
 	}
 	return r
 }

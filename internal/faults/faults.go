@@ -1,0 +1,260 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seeded description of network, component and adversarial faults
+// that composes with the internal/sim scheduler. Every random choice
+// is drawn from a sim.RNG fork, so one (seed, Spec) pair replays the
+// exact same fault schedule — byte-identical traces and metrics — on
+// every run and at any sweep worker count.
+//
+// Three fault families (see DESIGN.md's fault matrix):
+//
+//   - network: burst loss, duplication, reordering and delay spikes
+//     applied per packet on a netem.Link (NetFaults), plus a
+//     corrupting/truncating/stalling stream wrapper for the
+//     negotiation transport (Conn);
+//   - component: OFCS crash/restart with a CDR loss window and SPGW
+//     meter restart mid-cycle (scheduled by the experiment testbed
+//     from the same Spec);
+//   - adversarial: a byzantine negotiation peer (protocol.Byzantine)
+//     driven by the byz mode named here.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec describes one fault plan. The zero value injects nothing; a
+// Spec parses from and renders to the canonical key=value flag string
+// understood by cmd/tlcd's -faults flag.
+type Spec struct {
+	// Network faults, applied per packet on an injected link.
+
+	// BurstP is the per-packet probability of entering a loss burst;
+	// BurstLen is the mean burst length in packets (geometric).
+	BurstP   float64
+	BurstLen float64
+	// DupP duplicates a packet with this probability.
+	DupP float64
+	// ReorderP holds a packet back by ReorderDelay so it overtakes
+	// nothing but is overtaken by its successors.
+	ReorderP     float64
+	ReorderDelay time.Duration
+	// SpikeP adds a SpikeDelay latency spike to a packet.
+	SpikeP     float64
+	SpikeDelay time.Duration
+
+	// Component faults, scheduled on the cycle's simulated clock.
+
+	// OFCSCrashAt crashes the charging collector at this cycle time
+	// (zero = never); records collected within the trailing
+	// CDRLossWindow are lost, and the OFCS stays down for
+	// OFCSDowntime before restarting.
+	OFCSCrashAt   time.Duration
+	OFCSDowntime  time.Duration
+	CDRLossWindow time.Duration
+	// SPGWRestartAt restarts the gateway's in-memory meters at this
+	// cycle time (zero = never), losing un-flushed usage.
+	SPGWRestartAt time.Duration
+
+	// Adversarial faults.
+
+	// Byzantine names the peer misbehaviour mode: "inflate", "replay"
+	// or "tamper" (see protocol.Byzantine). Empty = honest peer.
+	Byzantine string
+
+	// Stream faults, applied by the Conn wrapper on the negotiation
+	// transport.
+
+	// CorruptP flips one byte per read with this probability.
+	CorruptP float64
+	// TruncateP abandons a write halfway and closes the transport.
+	TruncateP float64
+	// StallP stalls a write for StallFor before it proceeds.
+	StallP   float64
+	StallFor time.Duration
+}
+
+// Defaults for the secondary knobs when their primary probability or
+// schedule is set.
+const (
+	DefaultBurstLen      = 8.0
+	DefaultReorderDelay  = 20 * time.Millisecond
+	DefaultSpikeDelay    = 200 * time.Millisecond
+	DefaultOFCSDowntime  = 5 * time.Second
+	DefaultCDRLossWindow = 2 * time.Second
+	DefaultStallFor      = 50 * time.Millisecond
+)
+
+// WithDefaults returns the spec with unset secondary knobs filled in.
+func (s Spec) WithDefaults() Spec {
+	if s.BurstLen <= 0 {
+		s.BurstLen = DefaultBurstLen
+	}
+	if s.ReorderDelay <= 0 {
+		s.ReorderDelay = DefaultReorderDelay
+	}
+	if s.SpikeDelay <= 0 {
+		s.SpikeDelay = DefaultSpikeDelay
+	}
+	if s.OFCSDowntime <= 0 {
+		s.OFCSDowntime = DefaultOFCSDowntime
+	}
+	if s.CDRLossWindow <= 0 {
+		s.CDRLossWindow = DefaultCDRLossWindow
+	}
+	if s.StallFor <= 0 {
+		s.StallFor = DefaultStallFor
+	}
+	return s
+}
+
+// NetworkActive reports whether any per-packet link fault is enabled.
+func (s Spec) NetworkActive() bool {
+	return s.BurstP > 0 || s.DupP > 0 || s.ReorderP > 0 || s.SpikeP > 0
+}
+
+// ComponentActive reports whether any EPC component fault is
+// scheduled.
+func (s Spec) ComponentActive() bool {
+	return s.OFCSCrashAt > 0 || s.SPGWRestartAt > 0
+}
+
+// StreamActive reports whether any stream-wrapper fault is enabled.
+func (s Spec) StreamActive() bool {
+	return s.CorruptP > 0 || s.TruncateP > 0 || s.StallP > 0
+}
+
+// Zero reports whether the spec injects nothing at all.
+func (s Spec) Zero() bool {
+	return !s.NetworkActive() && !s.ComponentActive() && !s.StreamActive() && s.Byzantine == ""
+}
+
+// ByzModes are the accepted Byzantine mode names (defined with the
+// peer implementation in internal/protocol).
+var ByzModes = []string{"inflate", "replay", "tamper"}
+
+// Parse builds a Spec from the comma-separated key=value flag syntax,
+// e.g. "burst=0.01,dup=0.005,ofcs-crash=20s,byz=replay". Probability
+// keys take a value in [0,1]; schedule keys take a Go duration.
+func Parse(s string) (Spec, error) {
+	var out Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return out, nil
+	}
+	probs := map[string]*float64{
+		"burst":    &out.BurstP,
+		"burstlen": &out.BurstLen, // mean packets, not a probability
+		"dup":      &out.DupP,
+		"reorder":  &out.ReorderP,
+		"spike":    &out.SpikeP,
+		"corrupt":  &out.CorruptP,
+		"truncate": &out.TruncateP,
+		"stall":    &out.StallP,
+	}
+	durs := map[string]*time.Duration{
+		"reorderdelay": &out.ReorderDelay,
+		"spikedelay":   &out.SpikeDelay,
+		"ofcs-crash":   &out.OFCSCrashAt,
+		"ofcs-down":    &out.OFCSDowntime,
+		"cdr-loss":     &out.CDRLossWindow,
+		"spgw-restart": &out.SPGWRestartAt,
+		"stallfor":     &out.StallFor,
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: %q is not key=value", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch {
+		case key == "byz":
+			valid := false
+			for _, m := range ByzModes {
+				if val == m {
+					valid = true
+				}
+			}
+			if !valid {
+				return Spec{}, fmt.Errorf("faults: byz mode %q (want one of %s)",
+					val, strings.Join(ByzModes, "/"))
+			}
+			out.Byzantine = val
+		case probs[key] != nil:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return Spec{}, fmt.Errorf("faults: %s=%q is not a non-negative number", key, val)
+			}
+			if key != "burstlen" && f > 1 {
+				return Spec{}, fmt.Errorf("faults: %s=%q exceeds probability 1", key, val)
+			}
+			*probs[key] = f
+		case durs[key] != nil:
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Spec{}, fmt.Errorf("faults: %s=%q is not a non-negative duration", key, val)
+			}
+			*durs[key] = d
+		default:
+			return Spec{}, fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	return out, nil
+}
+
+// String renders the spec back to the canonical flag syntax: only
+// non-zero fields, keys sorted, so equal specs render identically.
+func (s Spec) String() string {
+	parts := map[string]string{}
+	addF := func(key string, v float64) {
+		if v > 0 {
+			parts[key] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+	}
+	addD := func(key string, v time.Duration) {
+		if v > 0 {
+			parts[key] = v.String()
+		}
+	}
+	addF("burst", s.BurstP)
+	addF("burstlen", s.BurstLen)
+	addF("dup", s.DupP)
+	addF("reorder", s.ReorderP)
+	addD("reorderdelay", s.ReorderDelay)
+	addF("spike", s.SpikeP)
+	addD("spikedelay", s.SpikeDelay)
+	addD("ofcs-crash", s.OFCSCrashAt)
+	addD("ofcs-down", s.OFCSDowntime)
+	addD("cdr-loss", s.CDRLossWindow)
+	addD("spgw-restart", s.SPGWRestartAt)
+	addF("corrupt", s.CorruptP)
+	addF("truncate", s.TruncateP)
+	addF("stall", s.StallP)
+	addD("stallfor", s.StallFor)
+	if s.Byzantine != "" {
+		parts["byz"] = s.Byzantine
+	}
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(parts[k])
+	}
+	return b.String()
+}

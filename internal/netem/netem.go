@@ -194,6 +194,33 @@ type LinkStats struct {
 	QueueDropped uint64 // bytes
 	LossDrops    uint64
 	LossDropped  uint64 // bytes
+
+	// Fault-injection outcomes (see FaultInjector); all zero when no
+	// injector is attached.
+	FaultDrops   uint64
+	FaultDropped uint64 // bytes
+	FaultDups    uint64
+	FaultDelays  uint64
+}
+
+// FaultAction is a fault injector's verdict for one packet. The zero
+// value passes the packet through untouched. Drop wins over the other
+// fields; Duplicate and ExtraDelay compose (the copy is sent clean,
+// the original is delayed).
+type FaultAction struct {
+	Drop       bool
+	Duplicate  bool
+	ExtraDelay time.Duration
+}
+
+// FaultInjector decides per-packet faults on a link, consulted after
+// the loss model (faults are on-the-wire events, like loss). It is
+// deliberately separate from LossModel so fault sweeps can stack on
+// any configured loss regime. Implementations must be deterministic
+// given their own seeded RNG; internal/faults provides the standard
+// one.
+type FaultInjector interface {
+	Apply(pkt *Packet, now sim.Time) FaultAction
 }
 
 // Link is a simplex link with a finite transmission rate, a priority
@@ -211,6 +238,11 @@ type Link struct {
 	QueueBytes int // queue capacity in bytes; 0 = unlimited
 	Loss       LossModel
 	Dst        Node
+
+	// Inject optionally applies per-packet faults (drop bursts,
+	// duplication, reordering, delay spikes) after the loss model.
+	// Leave nil for a clean link; the hot path pays nothing for it.
+	Inject FaultInjector
 
 	// Gate optionally pauses the server: while Gate returns false the
 	// link buffers packets instead of transmitting (the RAN uses this
@@ -443,6 +475,42 @@ func (l *Link) propagate(pkt *Packet) {
 		l.Stats.LossDrops++
 		l.Stats.LossDropped += uint64(pkt.Size)
 		l.Pool.Put(pkt)
+		return
+	}
+	if l.Inject != nil {
+		act := l.Inject.Apply(pkt, l.Sched.Now())
+		if act.Drop {
+			l.Stats.FaultDrops++
+			l.Stats.FaultDropped += uint64(pkt.Size)
+			l.Pool.Put(pkt)
+			return
+		}
+		if act.Duplicate {
+			l.Stats.FaultDups++
+			dup := l.Pool.Get()
+			*dup = *pkt
+			l.send(dup, 0)
+		}
+		if act.ExtraDelay > 0 {
+			l.Stats.FaultDelays++
+			l.send(pkt, act.ExtraDelay)
+			return
+		}
+	}
+	l.send(pkt, 0)
+}
+
+// send puts the packet on the wire. extra == 0 is the normal path and
+// rides the FIFO delivery ring. extra > 0 (a fault's reorder hold or
+// delay spike) deliberately breaks the link's FIFO order, so it must
+// bypass the ring — the ring's deliverFn pops strictly in push order
+// and a longer-delayed packet would make a later pop hand back the
+// wrong struct. Those packets get a dedicated per-packet closure
+// event instead; the allocation only happens on faulted packets.
+func (l *Link) send(pkt *Packet, extra time.Duration) {
+	if extra > 0 {
+		p := pkt
+		l.Sched.After(l.Delay+extra, func() { l.deliver(p) })
 		return
 	}
 	if l.Delay > 0 {

@@ -1,0 +1,103 @@
+package poc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tlc/internal/core"
+	"tlc/internal/sim"
+)
+
+// fuzzFixture is one canonical, genuinely signed proof chain built
+// from deterministic keys, so every fuzz execution checks mutations
+// against the same unforgeable original.
+type fuzzFixture struct {
+	plan      Plan
+	edgeKeys  *KeyPair
+	opKeys    *KeyPair
+	proof     *PoC
+	proofData []byte
+}
+
+func newFuzzFixture(tb testing.TB) *fuzzFixture {
+	rng := sim.NewRNG(987)
+	edgeKeys, err := GenerateKeyPair(DefaultKeyBits, rng.Fork("edge"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	opKeys, err := GenerateKeyPair(DefaultKeyBits, rng.Fork("op"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	plan := Plan{TStart: 0, TEnd: int64(time.Hour), C: 0.5}
+	cdr, err := BuildCDR(plan, RoleEdge, 0, 1000, rng, edgeKeys.Private)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cda, err := BuildCDA(plan, RoleOperator, 0, RoundVolume(core.Charge(plan.C, 1000, 900)), cdr, rng, opKeys.Private)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// The operator accepted with volume = charge(xe, xo) directly, so
+	// the recomputed X matches; what matters here is a chain that
+	// verifies.
+	proof, err := BuildPoC(cda, edgeKeys.Private)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := VerifyStateless(proof, plan, edgeKeys.Public, opKeys.Public); err != nil {
+		tb.Fatalf("canonical proof does not verify: %v", err)
+	}
+	return &fuzzFixture{plan: plan, edgeKeys: edgeKeys, opKeys: opKeys, proof: proof, proofData: data}
+}
+
+// FuzzPoCVerify mutates marshalled PoC bytes. The oracle is RSA
+// unforgeability end to end: any input that parses AND passes
+// Algorithm 2 verification must be byte-identical (after
+// re-marshalling) to the one genuine proof — no mutation of the
+// signed chain, the nonces, the sequence numbers or the negotiated
+// volume may ever verify.
+func FuzzPoCVerify(f *testing.F) {
+	fx := newFuzzFixture(f)
+
+	f.Add(fx.proofData)
+	// Structural seeds: flipped kind byte, truncations, bit flips in
+	// the middle (CDA body) and at the tail (signature).
+	kindFlip := append([]byte(nil), fx.proofData...)
+	kindFlip[0] = 2
+	f.Add(kindFlip)
+	f.Add(fx.proofData[:len(fx.proofData)/2])
+	mid := append([]byte(nil), fx.proofData...)
+	mid[len(mid)/2] ^= 1
+	f.Add(mid)
+	tail := append([]byte(nil), fx.proofData...)
+	tail[len(tail)-1] ^= 0x80
+	f.Add(tail)
+	f.Add([]byte{3})
+	f.Add([]byte("not a proof at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p PoC
+		if err := p.UnmarshalBinary(data); err != nil {
+			return // unparseable: rejected before crypto, fine
+		}
+		if err := VerifyStateless(&p, fx.plan, fx.edgeKeys.Public, fx.opKeys.Public); err != nil {
+			return // parsed but rejected: fine
+		}
+		// It verified. The only bytes allowed to verify are the
+		// genuine proof's own (any trailing-garbage tolerance in the
+		// decoder must still yield the canonical proof).
+		re, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("verified proof fails to re-marshal: %v", err)
+		}
+		if !bytes.Equal(re, fx.proofData) {
+			t.Fatalf("a mutated PoC verified:\n in  %x\n out %x", data, re)
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"tlc/internal/core"
+	"tlc/internal/poc"
+	"tlc/internal/sim"
+)
+
+// --- ErrFrameTruncated regression (the latent short-read bug) ---
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	// A stream that dies inside the 4-byte header must surface the
+	// typed truncation error, not a bare unexpected-EOF.
+	_, err := ReadFrame(bytes.NewReader([]byte{0, 0}))
+	if !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("partial header: %v, want ErrFrameTruncated", err)
+	}
+	// A stream that ends cleanly before any header is a normal EOF.
+	_, err = ReadFrame(bytes.NewReader(nil))
+	if !errors.Is(err, io.EOF) || errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("clean EOF: %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	_, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 10, 1, 2, 3}))
+	if !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("partial body: %v, want ErrFrameTruncated", err)
+	}
+}
+
+// closableHalf wraps one end of a pipe recording whether Run closed it.
+type closableHalf struct {
+	net.Conn
+	closed bool
+}
+
+func (c *closableHalf) Close() error { c.closed = true; return c.Conn.Close() }
+
+// TestRunClosesOnTruncatedFrame: a peer that dies mid-frame must not
+// leave this side's transport open (the framing can never resync).
+func TestRunClosesOnTruncatedFrame(t *testing.T) {
+	view := core.View{Sent: 1000, Received: 900}
+	edge, _ := parties(core.OptimalStrategy{}, core.OptimalStrategy{}, view, view, 30)
+
+	ci, cr := net.Pipe()
+	go func() {
+		// Send 4 header bytes announcing 100, then die after 3.
+		_, _ = ci.Write([]byte{0, 0, 0, 100, 9, 9, 9})
+		_ = ci.Close()
+	}()
+	wrapped := &closableHalf{Conn: cr}
+	_, err := edge.Run(wrapped, false)
+	if !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("err = %v, want ErrFrameTruncated", err)
+	}
+	if !wrapped.closed {
+		t.Fatal("Run left the truncated connection open")
+	}
+}
+
+// --- stale-proof binding ---
+
+// TestStaleProofRejected: a correctly signed PoC from an earlier
+// negotiation passes stateless verification but must be rejected by
+// the protocol's CDA binding with ErrStaleProof.
+func TestStaleProofRejected(t *testing.T) {
+	view := core.View{Sent: 1000, Received: 900}
+	e1, o1 := parties(core.OptimalStrategy{}, core.OptimalStrategy{}, view, view, 31)
+	ro, _, err := RunPair(o1, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := ro.PoC
+	if err := poc.VerifyStateless(stale, plan, edgeKeys.Public, opKeys.Public); err != nil {
+		t.Fatalf("stale proof should be genuine: %v", err)
+	}
+
+	edge, _ := parties(core.OptimalStrategy{}, core.OptimalStrategy{}, view, view, 32)
+	byz := &Byzantine{
+		Mode: ByzReplay, Role: poc.RoleOperator, Plan: plan,
+		Keys: opKeys, PeerKey: edgeKeys.Public, RNG: sim.NewRNG(33), Stale: stale,
+	}
+	ci, cr := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := byz.Run(cr)
+		done <- err
+	}()
+	_, err = edge.Run(ci, true)
+	if !errors.Is(err, ErrStaleProof) {
+		t.Fatalf("err = %v, want ErrStaleProof", err)
+	}
+	_ = ci.Close()
+	if berr := <-done; berr != nil {
+		t.Fatalf("byzantine side: %v", berr)
+	}
+
+	// The stateful verifier also refuses the second sighting.
+	v := poc.NewVerifier(edgeKeys.Public, opKeys.Public)
+	if err := v.Verify(stale, plan); err != nil {
+		t.Fatalf("first sighting: %v", err)
+	}
+	if err := v.Verify(stale, plan); !errors.Is(err, poc.ErrReplay) {
+		t.Fatalf("second sighting: %v, want ErrReplay", err)
+	}
+}
+
+// --- byzantine battery: forged frames never verify ---
+
+func TestByzantineForgeriesNeverVerify(t *testing.T) {
+	view := core.View{Sent: 1000, Received: 900}
+	for i, mode := range []string{ByzInflate, ByzTamper} {
+		edge, _ := parties(core.OptimalStrategy{}, core.OptimalStrategy{}, view, view, int64(40+i))
+		byz := &Byzantine{
+			Mode: mode, Role: poc.RoleOperator, Plan: plan,
+			Keys: opKeys, PeerKey: edgeKeys.Public, RNG: sim.NewRNG(int64(50 + i)),
+		}
+		ci, cr := net.Pipe()
+		type out struct {
+			sent [][]byte
+			err  error
+		}
+		done := make(chan out, 1)
+		go func() {
+			sent, err := byz.Run(cr)
+			done <- out{sent, err}
+		}()
+		_, err := edge.Run(ci, true)
+		if err == nil {
+			t.Fatalf("%s: honest side accepted a forgery", mode)
+		}
+		if !errors.Is(err, ErrBadPeer) && !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("%s: err = %v, want a typed protocol rejection", mode, err)
+		}
+		_ = ci.Close()
+		o := <-done
+		if o.err != nil {
+			t.Fatalf("%s: byzantine side: %v", mode, o.err)
+		}
+		// No frame the adversary emitted may ever verify as a PoC.
+		for _, data := range o.sent {
+			if len(data) == 0 || data[0] != 3 {
+				continue
+			}
+			var p poc.PoC
+			if uerr := p.UnmarshalBinary(data); uerr != nil {
+				continue // does not even parse: fine
+			}
+			if verr := poc.VerifyStateless(&p, plan, edgeKeys.Public, opKeys.Public); verr == nil {
+				t.Fatalf("%s: forged PoC verified", mode)
+			}
+		}
+	}
+}
+
+// --- bounded retry ---
+
+func TestTransientClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrBadPeer, false},
+		{ErrBadMessage, false},
+		{ErrNoConvergence, false},
+		{ErrStaleProof, false},
+		{ErrFrameTruncated, true},
+		{io.ErrUnexpectedEOF, true},
+		{errors.New("connection reset"), true},
+	} {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestRetrierBackoffAndBudget(t *testing.T) {
+	var slept []time.Duration
+	r := &Retrier{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    35 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	err := r.Do(func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt %d on call %d", attempt, calls)
+		}
+		calls++
+		return io.ErrUnexpectedEOF
+	})
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 35 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v", slept)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff %d = %s, want %s", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestRetrierPermanentErrorStops(t *testing.T) {
+	r := &Retrier{MaxAttempts: 5}
+	calls := 0
+	err := r.Do(func(int) error { calls++; return ErrBadPeer })
+	if !errors.Is(err, ErrBadPeer) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want immediate ErrBadPeer", err, calls)
+	}
+}
+
+func TestRetrierDeadline(t *testing.T) {
+	elapsed := time.Duration(0)
+	r := &Retrier{
+		MaxAttempts: 10,
+		BaseDelay:   100 * time.Millisecond,
+		Deadline:    150 * time.Millisecond,
+		Sleep:       func(d time.Duration) { elapsed += d },
+		Elapsed:     func() time.Duration { return elapsed },
+	}
+	calls := 0
+	err := r.Do(func(int) error { calls++; return io.ErrUnexpectedEOF })
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	// attempt 1 (free), backoff 100ms fits (100 <= 150), attempt 2,
+	// next backoff 200ms would pass the deadline: stop at 2 calls.
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+// TestRunWithRetryRecoversFromTruncation: the first dial hits a
+// transport that dies mid-frame; the retry dials again and settles.
+func TestRunWithRetryRecoversFromTruncation(t *testing.T) {
+	view := core.View{Sent: 1000, Received: 900}
+	dials := 0
+	dial := func() (io.ReadWriteCloser, error) {
+		dials++
+		ci, cr := net.Pipe()
+		if dials == 1 {
+			go func() {
+				if _, err := ReadFrame(cr); err != nil {
+					_ = cr.Close()
+					return
+				}
+				_, _ = cr.Write([]byte{0, 0, 1, 0, 2}) // announce 256, die
+				_ = cr.Close()
+			}()
+			return ci, nil
+		}
+		op := &Party{
+			Role: poc.RoleOperator, Plan: plan, Keys: opKeys, PeerKey: edgeKeys.Public,
+			Strategy: core.OptimalStrategy{}, View: view, RNG: sim.NewRNG(61),
+		}
+		go func() {
+			_, _ = op.Run(cr, false)
+			_ = cr.Close()
+		}()
+		return ci, nil
+	}
+	edge := &Party{
+		Role: poc.RoleEdge, Plan: plan, Keys: edgeKeys, PeerKey: opKeys.Public,
+		Strategy: core.OptimalStrategy{}, View: view, RNG: sim.NewRNG(60),
+	}
+	res, err := edge.RunWithRetry(dial, true, &Retrier{MaxAttempts: 3})
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if dials != 2 {
+		t.Fatalf("dials = %d, want 2", dials)
+	}
+	if err := poc.VerifyStateless(res.PoC, plan, edgeKeys.Public, opKeys.Public); err != nil {
+		t.Fatalf("settled proof invalid: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary streams at the framing layer. The
+// oracle: ReadFrame either returns a typed error (truncation,
+// oversize) or a frame that round-trips byte-identically through
+// WriteFrame. It must never panic, never allocate past MaxFrame, and
+// never mistake a mid-frame death for a clean EOF.
+func FuzzReadFrame(f *testing.F) {
+	// Structural edge cases (mirrored in testdata/fuzz seeds).
+	f.Add([]byte{})                             // clean EOF
+	f.Add([]byte{0, 0})                         // partial header
+	f.Add([]byte{0, 0, 0, 0})                   // empty frame
+	f.Add([]byte{0, 0, 0, 3, 1, 2, 3})          // exact small frame
+	f.Add([]byte{0, 0, 0, 10, 1, 2})            // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})       // oversize header
+	f.Add([]byte{0, 1, 0, 1})                   // >MaxFrame by a little
+	f.Add([]byte{0, 0, 0, 5, 1, 2, 3, 4, 5, 9}) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		frame, err := ReadFrame(r)
+		switch {
+		case err == nil:
+			// Parsed: the header must have announced exactly this
+			// length within bounds, and the frame must round-trip.
+			if len(frame) > MaxFrame {
+				t.Fatalf("frame of %d exceeds MaxFrame", len(frame))
+			}
+			want := binary.BigEndian.Uint32(data[:4])
+			if int(want) != len(frame) {
+				t.Fatalf("announced %d, returned %d", want, len(frame))
+			}
+			var buf bytes.Buffer
+			if werr := WriteFrame(&buf, frame); werr != nil {
+				t.Fatalf("round-trip write: %v", werr)
+			}
+			if !bytes.Equal(buf.Bytes(), data[:4+len(frame)]) {
+				t.Fatal("round trip changed bytes")
+			}
+		case errors.Is(err, ErrFrameTruncated):
+			// Typed truncation requires the stream to actually be
+			// short: either a partial header or a body shorter than
+			// announced.
+			if len(data) >= 4 {
+				n := binary.BigEndian.Uint32(data[:4])
+				if n <= MaxFrame && len(data)-4 >= int(n) {
+					t.Fatalf("truncation reported on a complete frame: %v", err)
+				}
+			}
+		case errors.Is(err, io.EOF):
+			if len(data) != 0 {
+				t.Fatalf("clean EOF on %d bytes", len(data))
+			}
+		default:
+			// Oversize and unexpected-EOF-free errors: must only
+			// happen when the header announced past MaxFrame.
+			if len(data) >= 4 {
+				if n := binary.BigEndian.Uint32(data[:4]); n <= MaxFrame {
+					t.Fatalf("unexpected error on in-bounds header: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -38,10 +38,17 @@ func WriteFrame(w io.Writer, data []byte) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed message.
+// ReadFrame reads one length-prefixed message. A stream that ends
+// mid-frame — partway through the header or the announced body — is a
+// truncation, not a clean EOF, and returns ErrFrameTruncated so
+// callers can fail closed (close the connection) instead of leaving
+// the peer mid-exchange on a half-consumed stream.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if n, err := io.ReadFull(r, hdr[:]); err != nil {
+		if n > 0 {
+			return nil, fmt.Errorf("%w: %d of 4 header bytes: %v", ErrFrameTruncated, n, err)
+		}
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
@@ -49,8 +56,8 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("protocol: frame of %d bytes exceeds max %d", n, MaxFrame)
 	}
 	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return nil, err
+	if m, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("%w: %d of %d body bytes: %v", ErrFrameTruncated, m, n, err)
 	}
 	return data, nil
 }
@@ -60,7 +67,24 @@ var (
 	ErrNoConvergence = errors.New("protocol: negotiation exhausted max rounds")
 	ErrBadMessage    = errors.New("protocol: malformed or unexpected message")
 	ErrBadPeer       = errors.New("protocol: peer message failed validation")
+	// ErrFrameTruncated marks a stream that died mid-frame; the
+	// connection is unusable (the framing is desynchronised) and Run
+	// closes it.
+	ErrFrameTruncated = errors.New("protocol: frame truncated")
+	// ErrStaleProof marks a syntactically valid, correctly signed PoC
+	// that does not embed the CDA this party sent in this exchange — a
+	// replayed proof from an earlier negotiation.
+	ErrStaleProof = errors.New("protocol: stale proof")
 )
+
+// closeConn tears the transport down when the framing layer is
+// desynchronised; a half-read stream can never resynchronise, so
+// leaving it open would wedge the peer.
+func closeConn(conn io.ReadWriter) {
+	if c, ok := conn.(io.Closer); ok {
+		_ = c.Close() // already failing; the close result adds nothing
+	}
+}
 
 // Party is one side of the negotiation.
 type Party struct {
@@ -157,10 +181,11 @@ func (p *Party) Run(conn io.ReadWriter, initiate bool) (*Result, error) {
 	}
 	bounds := core.Bounds{Lower: 0, Upper: math.Inf(1)}
 	var (
-		seq       uint32
-		lastOwn   *poc.CDR // our latest outstanding claim
-		rounds    int
-		myLastVol = math.NaN()
+		seq         uint32
+		lastOwn     *poc.CDR // our latest outstanding claim
+		lastSentCDA *poc.CDA // the acceptance we sent, if any
+		rounds      int
+		myLastVol   = math.NaN()
 	)
 
 	sendCDR := func() error {
@@ -204,6 +229,9 @@ func (p *Party) Run(conn io.ReadWriter, initiate bool) (*Result, error) {
 		p.deadline(conn)
 		frame, err := ReadFrame(conn)
 		if err != nil {
+			if errors.Is(err, ErrFrameTruncated) {
+				closeConn(conn)
+			}
 			return nil, err
 		}
 		if len(frame) == 0 {
@@ -241,6 +269,7 @@ func (p *Party) Run(conn io.ReadWriter, initiate bool) (*Result, error) {
 				if err := WriteFrame(conn, data); err != nil {
 					return nil, err
 				}
+				lastSentCDA = cda
 				continue
 			}
 			// Implicit reject: tighten and re-claim (Figure 7 case 2/3).
@@ -302,6 +331,16 @@ func (p *Party) Run(conn io.ReadWriter, initiate bool) (*Result, error) {
 			}
 			if err := poc.VerifyStateless(&proof, p.Plan, edgeKey, opKey); err != nil {
 				return nil, fmt.Errorf("%w: PoC: %v", ErrBadPeer, err)
+			}
+			// Signature validity is not enough: a proof from an earlier
+			// negotiation also verifies. The PoC must embed the exact
+			// CDA this party sent in this exchange, or it is a replay.
+			if lastSentCDA == nil ||
+				proof.CDA.Nonce != lastSentCDA.Nonce ||
+				proof.CDA.Volume != lastSentCDA.Volume ||
+				proof.CDA.Seq != lastSentCDA.Seq {
+				closeConn(conn)
+				return nil, fmt.Errorf("%w: PoC does not embed the CDA we sent", ErrStaleProof)
 			}
 			return &Result{PoC: &proof, X: proof.X, Rounds: rounds}, nil
 

@@ -1,0 +1,129 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ErrRetryBudget is returned when a retry loop gives up: attempts
+// exhausted or the deadline would be overrun by the next backoff.
+var ErrRetryBudget = errors.New("protocol: retry budget exhausted")
+
+// Transient reports whether an error is worth retrying. Protocol
+// verdicts — a peer that failed validation, a malformed message, a
+// stale proof, exhausted rounds — are permanent: retrying replays the
+// same doomed exchange. Everything else (truncated frames, connection
+// resets, timeouts) is transport weather and may clear.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrBadPeer),
+		errors.Is(err, ErrBadMessage),
+		errors.Is(err, ErrNoConvergence),
+		errors.Is(err, ErrStaleProof):
+		return false
+	}
+	return true
+}
+
+// Retrier bounds re-attempts with exponential backoff and an overall
+// deadline. The clock is injectable so internal/ users stay
+// tlcvet-clean and deterministic: tests pass recorders, cmd/tlcd
+// passes time.Sleep and a time.Since closure. Nil Sleep means no
+// waiting (attempts run back to back); nil Elapsed disables the
+// deadline and only MaxAttempts bounds the loop.
+type Retrier struct {
+	// MaxAttempts caps total tries (default 3).
+	MaxAttempts int
+	// BaseDelay is the first backoff, doubling per attempt (default
+	// 50ms), capped at MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Deadline bounds Elapsed()+nextBackoff; zero means no deadline.
+	Deadline time.Duration
+	// Sleep waits out a backoff; nil skips the wait.
+	Sleep func(time.Duration)
+	// Elapsed reports time spent since the operation started; nil
+	// disables the deadline check.
+	Elapsed func() time.Duration
+}
+
+func (r *Retrier) maxAttempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 3
+}
+
+func (r *Retrier) backoff(attempt int) time.Duration {
+	d := r.BaseDelay
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	max := r.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	return d
+}
+
+// Do runs op until it succeeds, fails permanently, or the budget runs
+// out. op receives the attempt index (0-based). The backoff precedes
+// every attempt but the first.
+func (r *Retrier) Do(op func(attempt int) error) error {
+	var last error
+	for attempt := 0; attempt < r.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			d := r.backoff(attempt - 1)
+			if r.Deadline > 0 && r.Elapsed != nil && r.Elapsed()+d > r.Deadline {
+				return fmt.Errorf("%w: deadline before attempt %d: %v", ErrRetryBudget, attempt+1, last)
+			}
+			if r.Sleep != nil {
+				r.Sleep(d)
+			}
+		}
+		err := op(attempt)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !Transient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("%w: %d attempts: %v", ErrRetryBudget, r.maxAttempts(), last)
+}
+
+// RunWithRetry runs the negotiation with a fresh connection per
+// attempt: transient transport faults (truncated frames, resets,
+// stalls that trip the deadline) retry with backoff, while protocol
+// verdicts fail closed immediately.
+func (p *Party) RunWithRetry(dial func() (io.ReadWriteCloser, error), initiate bool, r *Retrier) (*Result, error) {
+	if r == nil {
+		r = &Retrier{}
+	}
+	var res *Result
+	err := r.Do(func(int) error {
+		conn, err := dial()
+		if err != nil {
+			return err
+		}
+		res, err = p.Run(conn, initiate)
+		_ = conn.Close() // best-effort teardown; Run already closed on framing faults
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -372,6 +372,20 @@ func (g *RNG) Fork(name string) *RNG {
 // Float64 returns a uniform value in [0,1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 
+// Bernoulli reports a coin flip with success probability p. The
+// degenerate cases p <= 0 and p >= 1 consume no draw, so disabling a
+// probabilistic feature leaves the stream — and everything seeded
+// downstream of it — untouched.
+func (g *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
 // Intn returns a uniform value in [0,n).
 func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
 

@@ -46,6 +46,11 @@ type Sender struct {
 	RTO time.Duration
 	// MaxRetries bounds retransmissions per segment.
 	MaxRetries int
+	// BackoffFactor, when > 1, multiplies the timeout per retry of a
+	// segment (exponential backoff), which keeps retransmissions from
+	// hammering a path under injected fault bursts. Values <= 1 keep
+	// the paper's fixed-RTO behaviour exactly.
+	BackoffFactor float64
 
 	// ReverseDelay is the ACK path latency.
 	ReverseDelay time.Duration
@@ -111,7 +116,13 @@ func (s *Sender) transmit(seq uint64, retries int) {
 		}
 	}
 	fl := &flight{retries: retries}
-	fl.timer = s.Sched.After(s.RTO, func() {
+	rto := s.RTO
+	if s.BackoffFactor > 1 {
+		for i := 0; i < retries; i++ {
+			rto = time.Duration(float64(rto) * s.BackoffFactor)
+		}
+	}
+	fl.timer = s.Sched.After(rto, func() {
 		s.onTimeout(seq)
 	})
 	s.inFlight[seq] = fl

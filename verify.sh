@@ -8,12 +8,18 @@
 #                discipline (errdiscard); see internal/lint
 #   sweep      — parallel sweep engine smoke: ordering, panic
 #                propagation and figure parity under the race detector
+#   chaos      — end-to-end fault-injection cycle under the race
+#                detector: every fault family fires, the trace replays
+#                byte-identically, and the settlement stays bounded
 #   test -race — full test suite under the race detector
 #   allocs     — testing.AllocsPerRun guards for the event-engine hot
 #                paths; these skip themselves under -race (its
 #                instrumentation perturbs counts), so they need this
 #                separate non-race pass
 #   bench 1x   — every benchmark compiles and survives one iteration
+#   fuzz 10s   — short coverage-guided smoke on the two adversarial
+#                surfaces: the protocol framing decoder and the PoC
+#                verifier (forged proofs must never verify)
 set -eu
 cd "$(dirname "$0")"
 
@@ -21,6 +27,9 @@ go build ./...
 go vet ./...
 go run ./cmd/tlcvet ./...
 go test -run Parallel -race ./internal/experiment
+go test -run Chaos -race ./internal/experiment
 go test -race ./...
 go test -run ZeroAlloc ./internal/sim ./internal/netem
 go test -run '^$' -bench . -benchtime 1x ./...
+go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/protocol
+go test -run '^$' -fuzz '^FuzzPoCVerify$' -fuzztime 10s ./internal/poc
