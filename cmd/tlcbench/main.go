@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"tlc/internal/experiment"
+	"tlc/internal/metrics"
 )
 
 // jsonReport is the -json document.
@@ -46,6 +47,11 @@ type jsonReport struct {
 	Seeds       int              `json:"seeds"`
 	Experiments []jsonExperiment `json:"experiments"`
 	TotalMS     float64          `json:"total_ms"`
+	// Registry is the process-wide metrics snapshot taken after every
+	// experiment has published its run counters — the same series the
+	// live tlcd exposes on /metrics, so bench numbers and scraped
+	// numbers share one source of truth.
+	Registry map[string]float64 `json:"registry,omitempty"`
 }
 
 // jsonExperiment is one experiment's entry.
@@ -174,6 +180,8 @@ func main() {
 			fatalf("close %s: %v", *memProfile, err)
 		}
 	}
+
+	report.Registry = metrics.Default.Snapshot()
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

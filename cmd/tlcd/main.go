@@ -11,6 +11,14 @@
 //	tlcd -role edge -connect localhost:7075 -sent 1000000 -received 930000 \
 //	     -proof-out cycle.poc
 //
+// The operator serves each connection in its own goroutine (bounded
+// by -max-conns), so one stalled client cannot block the others. With
+// -http it also exposes a debug endpoint: Prometheus /metrics,
+// /healthz, expvar under /debug/vars, and net/http/pprof under
+// /debug/pprof/. SIGINT or SIGTERM stops accepting, drains in-flight
+// negotiations (bounded by -drain-timeout), logs a final metrics
+// snapshot, and exits 0.
+//
 // The -faults flag injects seeded stream faults (corrupted reads,
 // truncated writes, write stalls) into the live connection, and
 // -retries lets the edge re-dial through them with exponential
@@ -24,16 +32,27 @@ package main
 import (
 	"crypto/rsa"
 	"crypto/x509"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"tlc"
 	"tlc/internal/faults"
+	"tlc/internal/metrics"
 	"tlc/internal/protocol"
 	"tlc/internal/sim"
 )
@@ -54,6 +73,10 @@ func main() {
 		faultStr = flag.String("faults", "", "stream fault spec, e.g. corrupt=0.01,truncate=0.02,stall=0.05,stallfor=20ms (see internal/faults)")
 		faultSd  = flag.Int64("fault-seed", 1, "seed for the injected fault stream (same seed+spec replays identically)")
 		retries  = flag.Int("retries", 1, "edge: dial+settle attempts; transient faults back off exponentially")
+		httpAddr = flag.String("http", "", "operator: serve /metrics, /healthz and /debug on this address")
+		maxConns = flag.Int("max-conns", 64, "operator: max concurrent negotiations")
+		connTO   = flag.Duration("conn-timeout", time.Minute, "per-connection read/write deadline")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "operator shutdown: max wait for in-flight negotiations")
 	)
 	flag.Parse()
 
@@ -94,12 +117,19 @@ func main() {
 
 	switch *role {
 	case "operator":
-		runOperator(*listen, plan, keys, usage, strat, *proofOut, *once, spec, *faultSd)
+		op := &operator{
+			plan: plan, keys: keys, usage: usage, strat: strat,
+			proofOut: *proofOut, once: *once, spec: spec, faultSeed: *faultSd,
+			maxConns: *maxConns, connTimeout: *connTO, drainTimeout: *drainTO,
+		}
+		if err := op.run(*listen, *httpAddr); err != nil {
+			log.Fatal(err)
+		}
 	case "edge":
 		if *connect == "" {
 			log.Fatal("edge role requires -connect")
 		}
-		runEdge(*connect, plan, keys, usage, strat, *proofOut, spec, *faultSd, *retries)
+		runEdge(*connect, plan, keys, usage, strat, *proofOut, spec, *faultSd, *retries, *connTO)
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
@@ -144,8 +174,12 @@ func exchangeKeys(conn io.ReadWriter, own *rsa.PublicKey) (*rsa.PublicKey, error
 	return rsaPub, nil
 }
 
+// settle runs key exchange plus one negotiation, timing the whole
+// round trip into the protocol latency histogram. Wall-clock reads
+// live here, in cmd/, so internal/ stays tlcvet simtime-clean.
 func settle(conn io.ReadWriter, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
 	usage tlc.Usage, strat tlc.Strategy, initiate bool, proofOut string) error {
+	start := time.Now()
 	peerKey, err := exchangeKeys(conn, keys.Public())
 	if err != nil {
 		return fmt.Errorf("key exchange: %w", err)
@@ -155,6 +189,7 @@ func settle(conn io.ReadWriter, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
 	if err != nil {
 		return fmt.Errorf("negotiate: %w", err)
 	}
+	protocol.Metrics.NegotiateSeconds.Observe(time.Since(start).Seconds())
 	log.Printf("settled: %d bytes in %d round(s); proof %d bytes",
 		receipt.X, receipt.Rounds, len(receipt.Proof))
 	if proofOut != "" {
@@ -166,42 +201,227 @@ func settle(conn io.ReadWriter, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
 	return nil
 }
 
-func runOperator(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
-	strat tlc.Strategy, proofOut string, once bool, spec *faults.Spec, faultSeed int64) {
+// operator serves negotiations concurrently: each accepted connection
+// runs in its own goroutine behind a bounded semaphore, so a stalled
+// client occupies one slot instead of the whole listener.
+type operator struct {
+	plan         tlc.Plan
+	keys         *tlc.KeyPair
+	usage        tlc.Usage
+	strat        tlc.Strategy
+	proofOut     string
+	once         bool
+	spec         *faults.Spec
+	faultSeed    int64
+	maxConns     int
+	connTimeout  time.Duration
+	drainTimeout time.Duration
+
+	ln      net.Listener
+	closing atomic.Bool
+	wg      sync.WaitGroup
+
+	// firstDone fires after the first connection has been served, in
+	// success or failure; -once uses it to trigger shutdown.
+	firstDone chan struct{}
+	firstOnce sync.Once
+
+	// stop, when non-nil, is an extra shutdown trigger equivalent to
+	// a signal; tests close it instead of raising SIGTERM.
+	stop chan struct{}
+}
+
+func (o *operator) run(addr, httpAddr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer ln.Close() //tlcvet:allow errdiscard — process is exiting; nothing to do on listener-close failure
-	log.Printf("operator listening on %s (plan c=%.2f cycle=[%s, %s))",
-		ln.Addr(), plan.C, plan.Start.Format(time.RFC3339), plan.End.Format(time.RFC3339))
-	for {
-		conn, err := ln.Accept()
+	var debugLn net.Listener
+	if httpAddr != "" {
+		debugLn, err = net.Listen("tcp", httpAddr)
 		if err != nil {
-			log.Fatal(err)
+			_ = ln.Close() //tlcvet:allow errdiscard — already failing; the debug-listen error is the one to report
+			return err
 		}
-		func() {
-			defer conn.Close() //tlcvet:allow errdiscard — negotiation already settled or failed; close is cleanup
-			if err := conn.SetDeadline(time.Now().Add(time.Minute)); err != nil {
-				log.Printf("set deadline for %s: %v", conn.RemoteAddr(), err)
+	}
+	return o.serveWith(ln, debugLn)
+}
+
+// serveWith runs the operator on already-bound listeners (debugLn may
+// be nil). Split from run so tests can bind port 0 and read the
+// chosen addresses back.
+func (o *operator) serveWith(ln, debugLn net.Listener) error {
+	o.ln = ln
+	o.firstDone = make(chan struct{})
+	log.Printf("operator listening on %s (plan c=%.2f cycle=[%s, %s))",
+		ln.Addr(), o.plan.C, o.plan.Start.Format(time.RFC3339), o.plan.End.Format(time.RFC3339))
+
+	var debug *http.Server
+	if debugLn != nil {
+		debug = startDebugServer(debugLn)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	acceptErr := make(chan error, 1)
+	go o.acceptLoop(acceptErr)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %s: stopping accept, draining in-flight negotiations", sig)
+	case <-o.stop:
+	case <-o.firstDone:
+		if !o.once {
+			// Keep serving; only signals end a long-running operator.
+			select {
+			case sig := <-sigCh:
+				log.Printf("received %s: stopping accept, draining in-flight negotiations", sig)
+			case <-o.stop:
+			case err := <-acceptErr:
+				return err
+			}
+		}
+	case err := <-acceptErr:
+		return err
+	}
+
+	o.closing.Store(true)
+	if err := o.ln.Close(); err != nil {
+		log.Printf("listener close: %v", err)
+	}
+	o.drain()
+	if debug != nil {
+		if err := debug.Close(); err != nil {
+			log.Printf("debug server close: %v", err)
+		}
+	}
+	logFinalSnapshot()
+	return nil
+}
+
+// acceptLoop accepts until the listener closes, spawning one serving
+// goroutine per connection behind the -max-conns semaphore. Accepting
+// blocks while all slots are busy, which bounds memory and goroutines
+// under a connection flood.
+func (o *operator) acceptLoop(acceptErr chan<- error) {
+	sem := make(chan struct{}, o.maxConns)
+	for {
+		conn, err := o.ln.Accept()
+		if err != nil {
+			if o.closing.Load() {
 				return
 			}
-			rw, tr := wrapFaults(conn, spec, faultSeed)
-			if err := settle(rw, tlc.Operator, plan, keys, usage, strat, true, proofOut); err != nil {
-				log.Printf("negotiation with %s failed: %v", conn.RemoteAddr(), err)
-			}
-			if tr != nil {
-				log.Printf("fault injection: %s", tr.Summary())
-			}
-		}()
-		if once {
+			acceptErr <- err
 			return
 		}
+		sem <- struct{}{}
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			defer func() { <-sem }()
+			o.serve(conn)
+			o.firstOnce.Do(func() { close(o.firstDone) })
+		}()
 	}
 }
 
+func (o *operator) serve(conn net.Conn) {
+	defer conn.Close() //tlcvet:allow errdiscard — negotiation already settled or failed; close is cleanup
+	if err := conn.SetDeadline(time.Now().Add(o.connTimeout)); err != nil {
+		log.Printf("set deadline for %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	rw, tr := wrapFaults(conn, o.spec, o.faultSeed)
+	if err := settle(rw, tlc.Operator, o.plan, o.keys, o.usage, o.strat, true, o.proofOut); err != nil {
+		log.Printf("negotiation with %s failed: %v", conn.RemoteAddr(), err)
+	}
+	if tr != nil {
+		log.Printf("fault injection: %s", tr.Summary())
+	}
+}
+
+// drain waits for in-flight negotiations, giving up after
+// -drain-timeout: their per-connection deadlines already bound how
+// long an abandoned peer can hold a slot.
+func (o *operator) drain() {
+	done := make(chan struct{})
+	go func() {
+		o.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(o.drainTimeout):
+		log.Printf("drain timeout after %s: exiting with negotiations in flight", o.drainTimeout)
+	}
+}
+
+// logFinalSnapshot writes the non-zero registry series to the log so
+// a terminated operator leaves its counters behind even without a
+// scraper attached.
+func logFinalSnapshot() {
+	snap := metrics.Default.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k, v := range snap {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%g", k, snap[k])
+	}
+	if b.Len() == 0 {
+		log.Printf("final metrics: all zero")
+		return
+	}
+	log.Printf("final metrics:%s", b.String())
+}
+
+// startDebugServer serves the observability surface on an
+// already-bound listener: Prometheus /metrics, /healthz, expvar at
+// /debug/vars, pprof at /debug/pprof/.
+func startDebugServer(ln net.Listener) *http.Server {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := metrics.Default.WriteText(w); err != nil {
+			log.Printf("/metrics write: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		err := json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(start).Seconds(),
+		})
+		if err != nil {
+			log.Printf("/healthz write: %v", err)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("debug server: %v", err)
+		}
+	}()
+	log.Printf("debug server on http://%s/metrics", ln.Addr())
+	return srv
+}
+
 func runEdge(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
-	strat tlc.Strategy, proofOut string, spec *faults.Spec, faultSeed int64, retries int) {
+	strat tlc.Strategy, proofOut string, spec *faults.Spec, faultSeed int64,
+	retries int, connTimeout time.Duration) {
 	start := time.Now()
 	r := &protocol.Retrier{
 		MaxAttempts: retries,
@@ -216,7 +436,7 @@ func runEdge(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
 			return err
 		}
 		defer conn.Close() //tlcvet:allow errdiscard — negotiation already settled or failed; close is cleanup
-		if err := conn.SetDeadline(time.Now().Add(time.Minute)); err != nil {
+		if err := conn.SetDeadline(time.Now().Add(connTimeout)); err != nil {
 			return err
 		}
 		// A fresh fault stream per attempt, seeded off the attempt

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tlc"
+	"tlc/internal/metrics"
+)
+
+// testParties generates a key pair per side and a shared plan/usage
+// view, mirroring the CLI defaults the root e2e test drives.
+func testParties(t *testing.T) (opKeys, edgeKeys *tlc.KeyPair, plan tlc.Plan, usage tlc.Usage) {
+	t.Helper()
+	var err error
+	opKeys, err = tlc.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeKeys, err = tlc.GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := time.Now().Truncate(time.Hour)
+	plan = tlc.Plan{Start: end.Add(-time.Hour), End: end, C: 0.5}
+	usage = tlc.Usage{Sent: 1_000_000, Received: 930_000}
+	return opKeys, edgeKeys, plan, usage
+}
+
+// startOperator binds fresh loopback listeners and runs the operator
+// on them, returning the negotiation and debug addresses plus the
+// serveWith exit channel.
+func startOperator(t *testing.T, op *operator, withDebug bool) (addr, debugAddr string, exited chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var debugLn net.Listener
+	if withDebug {
+		debugLn, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		debugAddr = debugLn.Addr().String()
+	}
+	exited = make(chan error, 1)
+	go func() { exited <- op.serveWith(ln, debugLn) }()
+	return ln.Addr().String(), debugAddr, exited
+}
+
+func edgeSettle(t *testing.T, addr string, keys *tlc.KeyPair, plan tlc.Plan, usage tlc.Usage) error {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return settle(conn, tlc.Edge, plan, keys, usage, tlc.Honest, false, "")
+}
+
+func scrapeMetric(t *testing.T, debugAddr, series string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", debugAddr))
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TestOperatorConcurrentConnsAndScrape is the regression test for the
+// serial-accept bug plus the live observability surface: a client
+// that connects and then goes silent must not block a second client
+// from settling, and the settlement must be visible through a real
+// HTTP scrape of /metrics.
+func TestOperatorConcurrentConnsAndScrape(t *testing.T) {
+	opKeys, edgeKeys, plan, usage := testParties(t)
+	op := &operator{
+		plan: plan, keys: opKeys, usage: usage, strat: tlc.Honest,
+		once: false, maxConns: 4,
+		connTimeout: 30 * time.Second, drainTimeout: 5 * time.Second,
+		stop: make(chan struct{}),
+	}
+	addr, debugAddr, exited := startOperator(t, op, true)
+
+	// The stalling client: dials first, writes nothing. Under the old
+	// serial accept loop this connection would own the listener for
+	// its full deadline and the edge below could never settle.
+	stalled, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+
+	before := metrics.Default.Snapshot()["protocol_negotiations_settled_total"]
+	if err := edgeSettle(t, addr, edgeKeys, plan, usage); err != nil {
+		t.Fatalf("edge settle with a stalled peer in flight: %v", err)
+	}
+
+	after, ok := scrapeMetric(t, debugAddr, "protocol_negotiations_settled_total")
+	if !ok {
+		t.Fatal("protocol_negotiations_settled_total missing from /metrics")
+	}
+	if after < before+1 {
+		t.Fatalf("settled counter did not advance: before=%v after=%v", before, after)
+	}
+	if v, ok := scrapeMetric(t, debugAddr, "protocol_negotiate_seconds_count"); !ok || v < 1 {
+		t.Fatalf("negotiate latency histogram not observed: ok=%v v=%v", ok, v)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", debugAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/healthz content type %q", ct)
+	}
+
+	// Release the stalled peer so drain completes promptly, then stop.
+	if err := stalled.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(op.stop)
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("operator exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("operator did not drain and exit")
+	}
+}
+
+// TestOperatorOnceExits: with once set, serving a single negotiation
+// ends the operator cleanly — the mode the root CLI e2e test relies
+// on.
+func TestOperatorOnceExits(t *testing.T) {
+	opKeys, edgeKeys, plan, usage := testParties(t)
+	op := &operator{
+		plan: plan, keys: opKeys, usage: usage, strat: tlc.Honest,
+		once: true, maxConns: 4,
+		connTimeout: 30 * time.Second, drainTimeout: 5 * time.Second,
+	}
+	addr, _, exited := startOperator(t, op, false)
+	if err := edgeSettle(t, addr, edgeKeys, plan, usage); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("operator exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("once-operator did not exit after first negotiation")
+	}
+}
+
+// TestOperatorStopWithoutTraffic: the shutdown trigger alone (the
+// test stand-in for SIGTERM) must stop an idle operator promptly.
+func TestOperatorStopWithoutTraffic(t *testing.T) {
+	opKeys, _, plan, usage := testParties(t)
+	op := &operator{
+		plan: plan, keys: opKeys, usage: usage, strat: tlc.Honest,
+		once: false, maxConns: 4,
+		connTimeout: time.Second, drainTimeout: time.Second,
+		stop: make(chan struct{}),
+	}
+	_, _, exited := startOperator(t, op, false)
+	close(op.stop)
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("operator exit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle operator did not exit on stop")
+	}
+}

@@ -37,6 +37,8 @@ type OFCS struct {
 	lostWhileDown     int
 	lostWindowRecords int
 	lostBytes         uint64
+
+	published bool
 }
 
 // Usage is per-subscriber aggregated usage.

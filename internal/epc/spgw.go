@@ -70,6 +70,8 @@ type SPGW struct {
 	restarts      int
 	restartLostBy uint64
 
+	published bool
+
 	// cdrArena allocates CDRs in fixed-capacity blocks. Emitting one
 	// record per second per session makes *CDR the gateway's hottest
 	// allocation; blocks amortise it ~64× while keeping the pointers

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"tlc/internal/metrics"
+)
+
+// TestRegistryParity pins the bench/scrape single-source-of-truth
+// contract: the deltas a testbed run publishes into the process-wide
+// registry must equal the run's own counters, and EventsFired (what
+// cmd/tlcbench diffs for its JSON report) must read the same series
+// the live /metrics endpoint would expose.
+func TestRegistryParity(t *testing.T) {
+	before := metrics.Default.Snapshot()
+	firedBefore := EventsFired()
+
+	tb := NewTestbed(Config{Duration: 2 * time.Second, Seed: 41})
+	res := tb.Run()
+	if res == nil {
+		t.Fatal("nil cycle result")
+	}
+
+	after := metrics.Default.Snapshot()
+	firedDelta := after["sim_events_fired_total"] - before["sim_events_fired_total"]
+	if got, want := uint64(firedDelta), tb.Sched.Fired(); got != want {
+		t.Errorf("sim_events_fired_total delta = %d, scheduler fired %d", got, want)
+	}
+	if got, want := EventsFired()-firedBefore, tb.Sched.Fired(); got != want {
+		t.Errorf("EventsFired delta = %d, scheduler fired %d", got, want)
+	}
+
+	cdrDelta := after["epc_cdrs_emitted_total"] - before["epc_cdrs_emitted_total"]
+	if got, want := int(cdrDelta), tb.OFCS.Records(); got != want {
+		t.Errorf("epc_cdrs_emitted_total delta = %d, OFCS records %d", got, want)
+	}
+
+	// A second publish must be a no-op: the per-component once guards
+	// are what make cycle-end flushing idempotent.
+	tb.publishMetrics()
+	again := metrics.Default.Snapshot()
+	for _, k := range []string{"sim_events_fired_total", "epc_cdrs_emitted_total"} {
+		if again[k] != after[k] {
+			t.Errorf("%s changed on re-publish: %v -> %v", k, after[k], again[k])
+		}
+	}
+}

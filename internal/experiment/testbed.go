@@ -19,7 +19,6 @@ package experiment
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"tlc/internal/apps"
@@ -156,15 +155,12 @@ const (
 	imsi = "001011132547648"
 )
 
-// eventsFired accumulates, across every testbed cycle run in this
-// process (including parallel sweep workers), the number of simulator
-// events executed. cmd/tlcbench diffs it around each experiment to
-// report events_fired / events_per_sec / allocs_per_event.
-var eventsFired atomic.Uint64
-
 // EventsFired returns the cumulative count of simulator events
-// executed by Testbed cycles in this process.
-func EventsFired() uint64 { return eventsFired.Load() }
+// executed in this process (including parallel sweep workers), read
+// from the process-wide metrics registry. cmd/tlcbench diffs it
+// around each experiment to report events_fired / events_per_sec /
+// allocs_per_event.
+func EventsFired() uint64 { return sim.EventsFiredTotal() }
 
 // Testbed is one fully wired emulation instance.
 type Testbed struct {
@@ -561,9 +557,27 @@ func (tb *Testbed) Run() *CycleResult {
 		bg.Stop()
 	}
 	tb.SPGW.FlushCDRs(s.Now())
-	eventsFired.Add(s.Fired())
+	tb.publishMetrics()
 
 	return tb.collect()
+}
+
+// publishMetrics folds every substrate's plain run counters into the
+// process-wide registry. It runs once, after the event loop stops, so
+// instrumentation adds nothing to the hot path and cannot perturb
+// event order or RNG draws; each component's PublishMetrics is
+// once-guarded, so a second call is a no-op.
+func (tb *Testbed) publishMetrics() {
+	tb.Sched.PublishMetrics()
+	tb.DLAir.PublishMetrics()
+	tb.ULAir.PublishMetrics()
+	tb.Bridge.PublishMetrics()
+	tb.Dropper.PublishMetrics()
+	tb.Pool.PublishMetrics()
+	tb.OFCS.PublishMetrics()
+	tb.SPGW.PublishMetrics()
+	tb.NetFaultsDL.PublishMetrics()
+	tb.NetFaultsBridge.PublishMetrics()
 }
 
 // CycleResult captures everything a charging scheme needs from one

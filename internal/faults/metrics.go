@@ -1,0 +1,35 @@
+package faults
+
+import "tlc/internal/metrics"
+
+// Injection counters, one series per fault family. Packet-path
+// injectors (NetFaults) run inside the simulation hot loop, so they
+// keep their existing plain counters and delta-flush here at run
+// boundaries via PublishMetrics — the same pattern as sim and netem,
+// chosen so parallel sweep workers never contend on these cache
+// lines mid-run. Stream-path injectors (Conn) fire on live
+// connections where a cycle-end flush would be too late, and fault
+// hits are rare relative to packets, so they publish inline.
+var (
+	mDrop     = metrics.Default.Counter(`faults_injected_total{family="drop"}`, "fault injections by family")
+	mDup      = metrics.Default.Counter(`faults_injected_total{family="dup"}`, "fault injections by family")
+	mSpike    = metrics.Default.Counter(`faults_injected_total{family="spike"}`, "fault injections by family")
+	mHold     = metrics.Default.Counter(`faults_injected_total{family="hold"}`, "fault injections by family")
+	mCorrupt  = metrics.Default.Counter(`faults_injected_total{family="corrupt"}`, "fault injections by family")
+	mTruncate = metrics.Default.Counter(`faults_injected_total{family="truncate"}`, "fault injections by family")
+	mStall    = metrics.Default.Counter(`faults_injected_total{family="stall"}`, "fault injections by family")
+)
+
+// PublishMetrics folds this injector's packet-fault counters into the
+// process-wide registry. Call once per injector, after its simulation
+// run completes; later calls are no-ops.
+func (nf *NetFaults) PublishMetrics() {
+	if nf == nil || nf.published {
+		return
+	}
+	nf.published = true
+	mDrop.Add(nf.Drops)
+	mDup.Add(nf.Dups)
+	mSpike.Add(nf.Spikes)
+	mHold.Add(nf.Holds)
+}

@@ -23,6 +23,7 @@ type NetFaults struct {
 	label string
 
 	burstLeft int // packets still to drop in the current burst
+	published bool
 
 	// Counters mirror the link's fault stats but survive link resets
 	// and carry the injector's own view for traces/metrics.

@@ -46,6 +46,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		}
 		p[i] ^= 0xff
 		c.Corrupted++
+		mCorrupt.Inc()
 		c.Trace.Addf(0, "stream corrupt byte %d of %d", i, n)
 	}
 	return n, err
@@ -57,6 +58,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.RNG.Bernoulli(c.Spec.StallP) {
 		c.Stalls++
+		mStall.Inc()
 		d := c.Spec.StallFor
 		if d <= 0 {
 			d = DefaultStallFor
@@ -68,6 +70,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 	if len(p) > 1 && c.RNG.Bernoulli(c.Spec.TruncateP) {
 		c.Truncated++
+		mTruncate.Inc()
 		half := len(p) / 2
 		c.Trace.Addf(0, "stream truncate %d of %d bytes", half, len(p))
 		n, err := c.Inner.Write(p[:half])

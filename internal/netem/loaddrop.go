@@ -54,7 +54,8 @@ type LoadDropper struct {
 	Dropped   uint64
 	Forwarded uint64
 
-	started bool
+	started   bool
+	published bool
 }
 
 // NewLoadDropper returns a dropper with default parameters.

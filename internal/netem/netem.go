@@ -113,6 +113,8 @@ type PacketPool struct {
 	// at packetPoolCap: the burst's high-water mark goes to the GC
 	// instead of staying pinned for the rest of the cycle.
 	Drops uint64
+
+	published bool
 }
 
 // packetPoolCap bounds the pool's free list; see PacketPool.Drops.
@@ -288,6 +290,17 @@ type Link struct {
 	// evictIdx is scratch for evictLowerPriority, reused across
 	// overflows so the queue-overflow path does not allocate.
 	evictIdx []int
+
+	// Per-QCI accounting for the metrics registry: offered, dropped
+	// (queue, loss and fault drops combined) and delivered packets by
+	// class. Flat arrays indexed by the full QCI byte keep the hot
+	// path at one unconditional increment; PublishMetrics folds them
+	// into the pre-registered per-class counters at a run boundary.
+	qciEnq  [256]uint64
+	qciDrop [256]uint64
+	qciOut  [256]uint64
+
+	published bool
 }
 
 // NewLink returns a ready link. Loss defaults to NoLoss.
@@ -314,6 +327,7 @@ func (l *Link) QueuedBytes() int { return l.queuedBytes }
 func (l *Link) Recv(pkt *Packet) {
 	l.Stats.InPackets++
 	l.Stats.InBytes += uint64(pkt.Size)
+	l.qciEnq[pkt.QCI]++
 
 	if l.RateBps <= 0 && l.Gate == nil {
 		// Infinite-rate ungated link: pure delay + loss.
@@ -325,6 +339,7 @@ func (l *Link) Recv(pkt *Packet) {
 		if !l.evictLowerPriority(pkt) {
 			l.Stats.QueueDrops++
 			l.Stats.QueueDropped += uint64(pkt.Size)
+			l.qciDrop[pkt.QCI]++
 			l.Pool.Put(pkt)
 			return
 		}
@@ -365,6 +380,7 @@ func (l *Link) evictLowerPriority(pkt *Packet) bool {
 			l.queuedBytes -= q.Size
 			l.Stats.QueueDrops++
 			l.Stats.QueueDropped += uint64(q.Size)
+			l.qciDrop[q.QCI]++
 			l.Pool.Put(q)
 			continue
 		}
@@ -474,6 +490,7 @@ func (l *Link) propagate(pkt *Packet) {
 	if l.Loss != nil && l.Loss.Drop(pkt, l.Sched.Now()) {
 		l.Stats.LossDrops++
 		l.Stats.LossDropped += uint64(pkt.Size)
+		l.qciDrop[pkt.QCI]++
 		l.Pool.Put(pkt)
 		return
 	}
@@ -482,6 +499,7 @@ func (l *Link) propagate(pkt *Packet) {
 		if act.Drop {
 			l.Stats.FaultDrops++
 			l.Stats.FaultDropped += uint64(pkt.Size)
+			l.qciDrop[pkt.QCI]++
 			l.Pool.Put(pkt)
 			return
 		}
@@ -528,6 +546,7 @@ func (l *Link) send(pkt *Packet, extra time.Duration) {
 func (l *Link) deliver(pkt *Packet) {
 	l.Stats.OutPackets++
 	l.Stats.OutBytes += uint64(pkt.Size)
+	l.qciOut[pkt.QCI]++
 	if l.Dst != nil {
 		l.Dst.Recv(pkt)
 	}
@@ -592,6 +611,7 @@ func (l *Link) DropQueuedFraction(frac float64) (packets, bytes uint64) {
 		bytes += uint64(q.Size)
 		l.Stats.QueueDrops++
 		l.Stats.QueueDropped += uint64(q.Size)
+		l.qciDrop[q.QCI]++
 		l.Pool.Put(q)
 	}
 	for j := i; j < len(l.queue); j++ {

@@ -176,6 +176,27 @@ func (p *Party) validateCDR(c *poc.CDR) error {
 // sends the first CDR; the responder waits for it. On success both
 // sides hold the same doubly signed PoC.
 func (p *Party) Run(conn io.ReadWriter, initiate bool) (*Result, error) {
+	Metrics.NegotiationsStarted.Inc()
+	res, err := p.run(conn, initiate)
+	switch {
+	case err == nil:
+		Metrics.NegotiationsSettled.Inc()
+		Metrics.RoundsTotal.Add(uint64(res.Rounds))
+	default:
+		Metrics.NegotiationsFailed.Inc()
+		switch {
+		case errors.Is(err, ErrStaleProof):
+			Metrics.StaleProofRejections.Inc()
+		case errors.Is(err, ErrBadPeer):
+			Metrics.ByzantineRejections.Inc()
+		case errors.Is(err, ErrFrameTruncated):
+			Metrics.FrameTruncations.Inc()
+		}
+	}
+	return res, err
+}
+
+func (p *Party) run(conn io.ReadWriter, initiate bool) (*Result, error) {
 	if p.Strategy == nil || p.Keys == nil || p.PeerKey == nil {
 		return nil, errors.New("protocol: Strategy, Keys and PeerKey are required")
 	}

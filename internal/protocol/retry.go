@@ -88,6 +88,7 @@ func (r *Retrier) Do(op func(attempt int) error) error {
 			if r.Deadline > 0 && r.Elapsed != nil && r.Elapsed()+d > r.Deadline {
 				return fmt.Errorf("%w: deadline before attempt %d: %v", ErrRetryBudget, attempt+1, last)
 			}
+			Metrics.Retries.Inc()
 			if r.Sleep != nil {
 				r.Sleep(d)
 			}

@@ -143,6 +143,11 @@ type Scheduler struct {
 	// allocation of the simulator. Growth is bounded by freeListCap.
 	free      []*Event
 	freeDrops uint64
+
+	// publishedFired/publishedFreeDrops remember what PublishMetrics
+	// already flushed to the registry, so publishes are delta-exact.
+	publishedFired     uint64
+	publishedFreeDrops uint64
 }
 
 // NewScheduler returns an empty scheduler positioned at time zero.

@@ -179,8 +179,13 @@ func (s *Sample) Summarize() Summary {
 	}
 }
 
-// String renders the summary as a single table-friendly line.
+// String renders the summary as a single table-friendly line. An
+// empty sample says so explicitly instead of printing a row of
+// phantom zeros that reads like a real all-zero measurement.
 func (sm Summary) String() string {
+	if sm.N == 0 {
+		return "n=0 empty"
+	}
 	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f",
 		sm.N, sm.Mean, sm.Stddev, sm.Min, sm.P50, sm.P95, sm.Max)
 }
@@ -193,6 +198,10 @@ func RenderCDF(name string, s *Sample, rows int) string {
 		rows = 5
 	}
 	var b strings.Builder
+	if s.Len() == 0 {
+		fmt.Fprintf(&b, "%s (n=0 empty)\n", name)
+		return b.String()
+	}
 	fmt.Fprintf(&b, "%s (n=%d)\n", name, s.Len())
 	for i := 1; i <= rows; i++ {
 		p := float64(i) / float64(rows) * 100

@@ -139,6 +139,28 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummaryStringEmpty(t *testing.T) {
+	sm := NewSample().Summarize()
+	if got := sm.String(); got != "n=0 empty" {
+		t.Fatalf("empty Summary string = %q, want \"n=0 empty\"", got)
+	}
+	// A real all-zero sample is NOT empty and must keep its stats.
+	zero := NewSample(0, 0).Summarize()
+	if got := zero.String(); !strings.Contains(got, "n=2") || strings.Contains(got, "empty") {
+		t.Fatalf("all-zero Summary string = %q", got)
+	}
+}
+
+func TestRenderCDFEmpty(t *testing.T) {
+	out := RenderCDF("gap", NewSample(), 4)
+	if !strings.Contains(out, "gap (n=0 empty)") {
+		t.Fatalf("empty RenderCDF output:\n%s", out)
+	}
+	if strings.Contains(out, "p25") || strings.Contains(out, "0.0000") {
+		t.Fatalf("empty RenderCDF printed phantom quantiles:\n%s", out)
+	}
+}
+
 func TestRenderCDF(t *testing.T) {
 	s := NewSample(1, 2, 3, 4)
 	out := RenderCDF("gap", s, 4)

@@ -12,10 +12,13 @@
 #                detector: every fault family fires, the trace replays
 #                byte-identically, and the settlement stays bounded
 #   test -race — full test suite under the race detector
-#   allocs     — testing.AllocsPerRun guards for the event-engine hot
-#                paths; these skip themselves under -race (its
-#                instrumentation perturbs counts), so they need this
-#                separate non-race pass
+#   e2e scrape — the live tlcd operator: concurrent connections
+#                (stalled-client regression), a real HTTP scrape of
+#                /metrics and /healthz, and signal-driven drain
+#   allocs     — testing.AllocsPerRun guards for the event-engine and
+#                metrics-observation hot paths; these skip themselves
+#                under -race (its instrumentation perturbs counts), so
+#                they need this separate non-race pass
 #   bench 1x   — every benchmark compiles and survives one iteration
 #   fuzz 10s   — short coverage-guided smoke on the two adversarial
 #                surfaces: the protocol framing decoder and the PoC
@@ -29,7 +32,8 @@ go run ./cmd/tlcvet ./...
 go test -run Parallel -race ./internal/experiment
 go test -run Chaos -race ./internal/experiment
 go test -race ./...
-go test -run ZeroAlloc ./internal/sim ./internal/netem
+go test -run Operator -race -count=1 ./cmd/tlcd
+go test -run ZeroAlloc ./internal/sim ./internal/netem ./internal/metrics
 go test -run '^$' -bench . -benchtime 1x ./...
 go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/protocol
 go test -run '^$' -fuzz '^FuzzPoCVerify$' -fuzztime 10s ./internal/poc
