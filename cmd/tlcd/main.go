@@ -240,7 +240,7 @@ func (o *operator) run(addr, httpAddr string) error {
 	if httpAddr != "" {
 		debugLn, err = net.Listen("tcp", httpAddr)
 		if err != nil {
-			_ = ln.Close() //tlcvet:allow errdiscard — already failing; the debug-listen error is the one to report
+			_ = ln.Close() // already failing; the debug-listen error is the one to report
 			return err
 		}
 	}

@@ -61,7 +61,7 @@ func edgeSettle(t *testing.T, addr string, keys *tlc.KeyPair, plan tlc.Plan, usa
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
+	defer conn.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func scrapeMetric(t *testing.T, debugAddr, series string) (float64, bool) {
 	if err != nil {
 		t.Fatalf("scrape: %v", err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/metrics status %d", resp.StatusCode)
 	}
@@ -119,7 +119,7 @@ func TestOperatorConcurrentConnsAndScrape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer stalled.Close()
+	defer stalled.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 
 	before := metrics.Default.Snapshot()["protocol_negotiations_settled_total"]
 	if err := edgeSettle(t, addr, edgeKeys, plan, usage); err != nil {
@@ -141,7 +141,7 @@ func TestOperatorConcurrentConnsAndScrape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz status %d", resp.StatusCode)
 	}

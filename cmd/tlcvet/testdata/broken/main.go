@@ -1,0 +1,8 @@
+// Package brokenmod fails to type-check: the end-to-end test asserts
+// type errors are fatal (exit 2), because analyzers on partial type
+// information silently miss findings.
+package brokenmod
+
+func answer() int {
+	return "forty-two"
+}

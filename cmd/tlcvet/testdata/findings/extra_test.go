@@ -1,0 +1,7 @@
+package findingsmod
+
+import "os"
+
+func cleanupTestArtifacts() {
+	os.Remove("c.txt")
+}

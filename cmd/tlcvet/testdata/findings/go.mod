@@ -1,0 +1,3 @@
+module findingsmod
+
+go 1.21

@@ -1,0 +1,15 @@
+// Package findingsmod seeds deliberate violations: the golden
+// end-to-end test asserts tlcvet reports them in stable order and
+// exits 1.
+package findingsmod
+
+import "os"
+
+func drop() {
+	os.Remove("a.txt")
+}
+
+func stale() error {
+	//tlcvet:allow simtyme — misspelled, suppresses nothing
+	return os.Remove("b.txt")
+}

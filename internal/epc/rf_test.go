@@ -14,8 +14,8 @@ func rfPair(t *testing.T) (*RfClient, *RfServer, *OFCS, func()) {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(srvConn) }()
 	cleanup := func() {
-		cliConn.Close()
-		srvConn.Close()
+		_ = cliConn.Close()
+		_ = srvConn.Close()
 		if err := <-done; err != nil {
 			t.Errorf("server: %v", err)
 		}
@@ -63,7 +63,7 @@ func TestRfOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	defer ln.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 	ofcs := NewOFCS()
 	srv := &RfServer{OFCS: ofcs}
 	done := make(chan error, 1)
@@ -73,7 +73,7 @@ func TestRfOverTCP(t *testing.T) {
 			done <- err
 			return
 		}
-		defer conn.Close()
+		defer conn.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 		done <- srv.Serve(conn)
 	}()
 	conn, err := net.Dial("tcp", ln.Addr().String())
@@ -84,7 +84,7 @@ func TestRfOverTCP(t *testing.T) {
 	if err := cli.Send(sampleCDR(0, 274841)); err != nil {
 		t.Fatal(err)
 	}
-	conn.Close()
+	_ = conn.Close()
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
@@ -111,8 +111,8 @@ func TestRfServerRejectsMalformedRecord(t *testing.T) {
 	if typ != rfTypeACA || seq != 1 || result != RfResultMalformed {
 		t.Fatalf("answer = type %d seq %d result %d", typ, seq, result)
 	}
-	cliConn.Close()
-	srvConn.Close()
+	_ = cliConn.Close()
+	_ = srvConn.Close()
 	<-done
 	if srv.Rejected != 1 || ofcs.Records() != 0 {
 		t.Fatalf("rejected=%d records=%d", srv.Rejected, ofcs.Records())
@@ -134,8 +134,8 @@ func TestRfServerRejectsUnknownType(t *testing.T) {
 	if typ != rfTypeACA || result != RfResultUnsupported {
 		t.Fatalf("answer = type %d result %d", typ, result)
 	}
-	cliConn.Close()
-	srvConn.Close()
+	_ = cliConn.Close()
+	_ = srvConn.Close()
 	<-done
 }
 
@@ -149,7 +149,7 @@ func TestRfClientSurfacesRejection(t *testing.T) {
 				return
 			}
 			_ = typ
-			writeRfFrame(srvConn, rfTypeACA, seq, RfResultMalformed, nil)
+			_ = writeRfFrame(srvConn, rfTypeACA, seq, RfResultMalformed, nil)
 		}
 	}()
 	cli := NewRfClient(cliConn)
@@ -160,14 +160,14 @@ func TestRfClientSurfacesRejection(t *testing.T) {
 	if cli.Acked != 0 {
 		t.Fatal("rejected record counted as acked")
 	}
-	cliConn.Close()
-	srvConn.Close()
+	_ = cliConn.Close()
+	_ = srvConn.Close()
 }
 
 func TestRfFrameBounds(t *testing.T) {
 	cliConn, srvConn := net.Pipe()
-	defer cliConn.Close()
-	defer srvConn.Close()
+	defer cliConn.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
+	defer srvConn.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 	go func() { _, _, _, _, _ = readRfFrame(srvConn) }()
 	if err := writeRfFrame(cliConn, rfTypeACR, 0, 0, make([]byte, maxRfFrame+1)); err == nil {
 		t.Fatal("oversized frame written")

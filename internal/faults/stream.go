@@ -46,6 +46,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		}
 		p[i] ^= 0xff
 		c.Corrupted++
+		//tlcvet:allow metricstier — Conn wraps live net.Conn streams outside any sim run; there is no run boundary to flush at
 		mCorrupt.Inc()
 		c.Trace.Addf(0, "stream corrupt byte %d of %d", i, n)
 	}
@@ -58,6 +59,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 func (c *Conn) Write(p []byte) (int, error) {
 	if c.RNG.Bernoulli(c.Spec.StallP) {
 		c.Stalls++
+		//tlcvet:allow metricstier — live stream path (see Read); counts must be visible while the connection is still open
 		mStall.Inc()
 		d := c.Spec.StallFor
 		if d <= 0 {
@@ -70,6 +72,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 	if len(p) > 1 && c.RNG.Bernoulli(c.Spec.TruncateP) {
 		c.Truncated++
+		//tlcvet:allow metricstier — live stream path (see Read); counts must be visible while the connection is still open
 		mTruncate.Inc()
 		half := len(p) / 2
 		c.Trace.Addf(0, "stream truncate %d of %d bytes", half, len(p))

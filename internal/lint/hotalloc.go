@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+)
+
+// HotAlloc turns the repository's AllocsPerRun guards into a static
+// invariant. A function annotated with a //tlcvet:hotpath line in its
+// doc comment — and every function it statically calls inside the
+// module, found by a breadth-first call-graph walk across the loaded
+// packages — may not contain allocating constructs:
+//
+//   - composite literals whose address escapes (&T{...})
+//   - new(T) and make(...)
+//   - append outside the amortized self-append form x = append(x, ...)
+//   - func literals that capture variables (each creation allocates a
+//     closure)
+//   - fmt calls and non-constant string concatenation
+//   - interface boxing: passing or converting a concrete non-pointer
+//     value to an interface-typed parameter
+//
+// Constructs inside a panic(...) argument are exempt — a causality
+// panic is allowed to format its last words. Everything else needs a
+// //tlcvet:allow hotalloc waiver naming why the allocation is
+// acceptable (amortized growth, pool-miss slow path, once-cached
+// closure), which keeps the dynamic ZeroAlloc tests and the annotated
+// source telling the same story.
+var HotAlloc = &Analyzer{
+	Name:       "hotalloc",
+	Doc:        "forbid allocating constructs in //tlcvet:hotpath functions and their intra-module callees",
+	RunProgram: runHotAlloc,
+}
+
+const hotpathPrefix = "//tlcvet:hotpath"
+
+// isHotpathAnnotated reports whether the declaration's doc comment
+// carries a //tlcvet:hotpath line.
+func isHotpathAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if rest, ok := cutPrefixWord(c.Text, hotpathPrefix); ok {
+			_ = rest
+			return true
+		}
+	}
+	return false
+}
+
+// cutPrefixWord matches prefix followed by end-of-string or blank, so
+// //tlcvet:hotpathological never counts as an annotation.
+func cutPrefixWord(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) || s[:len(prefix)] != prefix {
+		return "", false
+	}
+	rest := s[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return rest, true
+}
+
+func runHotAlloc(prog *Program) {
+	funcs := prog.FuncDecls()
+
+	// Seed the walk with annotated declarations in source order, so
+	// the "reachable from" attribution is deterministic.
+	type workItem struct {
+		key  string
+		fn   *types.Func
+		root string
+	}
+	var queue []workItem
+	visited := make(map[string]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isHotpathAnnotated(fd) {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || visited[funcKey(obj)] {
+					continue
+				}
+				visited[funcKey(obj)] = true
+				queue = append(queue, workItem{key: funcKey(obj), fn: obj, root: funcDisplayName(obj)})
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		site, ok := funcs[item.key]
+		if !ok {
+			continue
+		}
+		for _, callee := range checkHotFunc(prog, site, item.fn, item.root) {
+			k := funcKey(callee)
+			if _, inModule := funcs[k]; !inModule || visited[k] {
+				continue
+			}
+			visited[k] = true
+			queue = append(queue, workItem{key: k, fn: callee, root: item.root})
+		}
+	}
+}
+
+// checkHotFunc scans one hot function body for allocating constructs
+// and returns its static callees in source order for the walk.
+func checkHotFunc(prog *Program, site declSite, fn *types.Func, root string) []*types.Func {
+	pass := prog.Pass(site.pkg, "hotalloc")
+	info := site.pkg.Info
+	body := site.decl.Body
+
+	via := ""
+	if name := funcDisplayName(fn); name != root {
+		via = " (reachable from hotpath " + root + " via " + name + ")"
+	}
+
+	// The amortized self-append form x = append(x, ...) is the one
+	// sanctioned growth pattern: steady state never grows, so the
+	// ZeroAlloc guards hold.
+	allowedAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || builtinName(info, call) != "append" || len(call.Args) == 0 {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+			allowedAppend[call] = true
+		}
+		return true
+	})
+
+	var callees []*types.Func
+	seen := make(map[*types.Func]bool)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(info, x) {
+			case "panic":
+				// A causality panic may format its last words.
+				return false
+			case "new":
+				pass.Reportf(x.Pos(), "hot path%s: new allocates; hoist the allocation out of the hot path or reuse a pooled struct", via)
+				return true
+			case "make":
+				pass.Reportf(x.Pos(), "hot path%s: make allocates; preallocate at construction time or reuse a buffer", via)
+				return true
+			case "append":
+				if !allowedAppend[x] {
+					pass.Reportf(x.Pos(), "hot path%s: append outside the amortized x = append(x, ...) form may allocate per call; restructure or waive with the growth argument", via)
+				}
+				return true
+			}
+			if f := calleeOf(info, x); f != nil {
+				if !seen[f] {
+					seen[f] = true
+					callees = append(callees, f)
+				}
+				if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+					pass.Reportf(x.Pos(), "hot path%s: fmt.%s formats and allocates; move formatting off the hot path", via, f.Name())
+					return true
+				}
+			}
+			checkHotBoxing(pass, info, x, via)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "hot path%s: &composite literal escapes to the heap; draw from a pool or reuse a struct", via)
+				}
+			}
+		case *ast.FuncLit:
+			if cap := closureCapture(info, site.pkg.Types.Scope(), x); cap != nil {
+				pass.Reportf(x.Pos(), "hot path%s: func literal captures %q and allocates a closure per creation; cache the closure once or pass state explicitly", via, cap.Name)
+			}
+			// Keep descending: cached-callback bodies (allocated once,
+			// invoked per event) are exactly the hot path.
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := info.Types[x]; ok && tv.Type != nil && tv.Value == nil && isStringType(tv.Type) {
+					pass.Reportf(x.Pos(), "hot path%s: string concatenation allocates; precompute the string or use fixed keys", via)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return callees
+}
+
+// checkHotBoxing reports call arguments and conversions that box a
+// concrete non-pointer value into an interface, which escapes it to
+// the heap.
+func checkHotBoxing(pass *Pass, info *types.Info, call *ast.CallExpr, via string) {
+	tvFun, ok := info.Types[unparen(call.Fun)]
+	if !ok || tvFun.Type == nil {
+		return
+	}
+	if tvFun.IsType() {
+		// Explicit conversion I(x).
+		if isIfaceType(tvFun.Type) && len(call.Args) == 1 {
+			if at, ok := info.Types[call.Args[0]]; ok && at.Type != nil && boxAllocates(at.Type) {
+				pass.Reportf(call.Pos(), "hot path%s: conversion boxes %s into interface %s and allocates; pass a pointer or avoid the interface", via, at.Type, tvFun.Type)
+			}
+		}
+		return
+	}
+	sig, ok := tvFun.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // f(xs...) forwards the slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !isIfaceType(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.Type == nil || !boxAllocates(at.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path%s: argument boxes %s into interface %s and allocates; pass a pointer or avoid the interface", via, at.Type, pt)
+	}
+}
+
+// closureCapture returns an identifier the literal captures from an
+// enclosing function, or nil when the closure is capture-free (and so
+// can be compiled as a static function value without allocating).
+func closureCapture(info *types.Info, pkgScope *types.Scope, lit *ast.FuncLit) *ast.Ident {
+	var captured *ast.Ident
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == pkgScope || v.Parent() == types.Universe {
+			return true // package-level state is shared, not captured
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal itself
+		}
+		captured = id
+		return false
+	})
+	return captured
+}
+
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+func isIfaceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// boxAllocates reports whether storing a value of static type t in an
+// interface heap-allocates: pointer-shaped values (pointers, channels,
+// maps, funcs, unsafe pointers) ride in the interface word for free,
+// everything else escapes.
+func boxAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		switch u.Kind() {
+		case types.UntypedNil, types.UnsafePointer:
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// shortPos renders a position as "base.go:line" for inclusion inside
+// finding messages that point at a second location.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +29,16 @@ func TestMain(m *testing.M) {
 }
 
 // fixturePath is where a testdata package would live as a real import.
+// Path-scoped analyzers (metricstier, goroleak) get synthetic paths
+// inside their scope, the way the poc fixture has always stood in for
+// the real crypto package.
 func fixturePath(name string) string {
+	switch name {
+	case "metricstier":
+		return "tlc/internal/epc/testdata/metricstier"
+	case "goroleak":
+		return "tlc/internal/protocol/testdata/goroleak"
+	}
 	return "tlc/internal/lint/testdata/" + name
 }
 
@@ -92,11 +102,19 @@ func TestAnalyzers(t *testing.T) {
 	cases := []struct {
 		fixture  string
 		analyzer *Analyzer
+		// analyzers overrides the run set; staleallow only judges
+		// directives whose named checks all ran, so its fixture runs
+		// everything.
+		analyzers []*Analyzer
 	}{
-		{"simtime", Simtime},
-		{"seededrand", SeededRand},
-		{"poc", CryptoRand},
-		{"errdiscard", ErrDiscard},
+		{fixture: "simtime", analyzer: Simtime},
+		{fixture: "seededrand", analyzer: SeededRand},
+		{fixture: "poc", analyzer: CryptoRand},
+		{fixture: "errdiscard", analyzer: ErrDiscard},
+		{fixture: "hotalloc", analyzer: HotAlloc},
+		{fixture: "metricstier", analyzer: MetricsTier},
+		{fixture: "goroleak", analyzer: GoroLeak},
+		{fixture: "staleallow", analyzer: StaleAllow, analyzers: All},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name, func(t *testing.T) {
@@ -104,7 +122,11 @@ func TestAnalyzers(t *testing.T) {
 			if tc.analyzer.Applies != nil && !tc.analyzer.Applies(pkg.Path) {
 				t.Fatalf("%s does not apply to %s", tc.analyzer.Name, pkg.Path)
 			}
-			got := Run([]*Package{pkg}, []*Analyzer{tc.analyzer})
+			analyzers := tc.analyzers
+			if analyzers == nil {
+				analyzers = []*Analyzer{tc.analyzer}
+			}
+			got := Run([]*Package{pkg}, analyzers)
 			unmatched := append([]Finding(nil), got...)
 			for _, w := range parseWants(t, filepath.Join("testdata", tc.fixture)) {
 				found := false
@@ -133,7 +155,10 @@ func TestAnalyzers(t *testing.T) {
 // ./internal/lint -run Golden -update`.
 func TestReportGolden(t *testing.T) {
 	var pkgs []*Package
-	for _, name := range []string{"errdiscard", "poc", "seededrand", "simtime"} {
+	for _, name := range []string{
+		"errdiscard", "goroleak", "hotalloc", "metricstier",
+		"poc", "seededrand", "simtime", "staleallow",
+	} {
 		pkgs = append(pkgs, loadFixture(t, name))
 	}
 	findings := Run(pkgs, All)
@@ -177,8 +202,8 @@ func TestLoadResolvesModulePath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 4 {
-		t.Fatalf("recursive load found %d packages, want 4", len(all))
+	if len(all) != 8 {
+		t.Fatalf("recursive load found %d packages, want 8", len(all))
 	}
 	// The acceptance contract: tlcvet must exit non-zero on the
 	// fixtures, i.e. running everything over them finds problems.
@@ -198,6 +223,126 @@ func TestSelect(t *testing.T) {
 	}
 	if _, err := Select("nope"); err == nil {
 		t.Fatal("Select accepted an unknown check")
+	}
+}
+
+// TestJSONReportRoundTrip checks that the -json document survives
+// encoding/json both ways and carries base-relative forward-slashed
+// paths in stable order.
+func TestJSONReportRoundTrip(t *testing.T) {
+	pkg := loadFixture(t, "simtime")
+	findings := Run([]*Package{pkg}, []*Analyzer{Simtime})
+	if len(findings) == 0 {
+		t.Fatal("simtime fixture produced no findings")
+	}
+	base, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteJSON(&buf, findings, All, base); err != nil {
+		t.Fatal(err)
+	}
+	var report JSONReport
+	if err := json.Unmarshal([]byte(buf.String()), &report); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if report.Version != "tlcvet-report/1" {
+		t.Errorf("version = %q", report.Version)
+	}
+	if len(report.Checks) != len(All) {
+		t.Errorf("checks = %d, want %d", len(report.Checks), len(All))
+	}
+	if len(report.Findings) != len(findings) {
+		t.Fatalf("findings = %d, want %d", len(report.Findings), len(findings))
+	}
+	for i, f := range report.Findings {
+		if f.File != "simtime/bad.go" {
+			t.Errorf("finding %d file = %q, want base-relative slash path", i, f.File)
+		}
+		if f.Check != "simtime" || f.Line <= 0 || f.Column <= 0 || f.Message == "" {
+			t.Errorf("finding %d incomplete: %+v", i, f)
+		}
+	}
+}
+
+// TestSARIFMinimumShape validates the -sarif document against the
+// SARIF 2.1.0 minimum shape: schema/version header, one run with a
+// named driver and rules, and results pointing at physical locations.
+func TestSARIFMinimumShape(t *testing.T) {
+	pkg := loadFixture(t, "simtime")
+	findings := Run([]*Package{pkg}, []*Analyzer{Simtime})
+	if len(findings) == 0 {
+		t.Fatal("simtime fixture produced no findings")
+	}
+	base, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteSARIF(&buf, findings, All, base); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("SARIF does not parse: %v", err)
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("header = %q %q", doc.Schema, doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "tlcvet" || len(run.Tool.Driver.Rules) != len(All) {
+		t.Errorf("driver = %q with %d rules, want tlcvet with %d",
+			run.Tool.Driver.Name, len(run.Tool.Driver.Rules), len(All))
+	}
+	if len(run.Results) != len(findings) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(findings))
+	}
+	for i, r := range run.Results {
+		if r.RuleID != "simtime" || r.Level != "error" || r.Message.Text == "" {
+			t.Errorf("result %d incomplete: %+v", i, r)
+		}
+		if len(r.Locations) != 1 ||
+			r.Locations[0].PhysicalLocation.ArtifactLocation.URI != "simtime/bad.go" ||
+			r.Locations[0].PhysicalLocation.Region.StartLine <= 0 {
+			t.Errorf("result %d location incomplete: %+v", i, r.Locations)
+		}
 	}
 }
 

@@ -45,7 +45,19 @@ type Loader struct {
 	moduleRoot string
 	modulePath string
 	pkgs       map[string]*Package
+	rootPkgs   map[string]*Package
 	loading    map[string]bool
+
+	// IncludeTests makes Load parse and type-check each matched
+	// package's in-package _test.go files together with its ordinary
+	// sources, so the analyzers see test code too. Only matched (root)
+	// packages get their tests: a package loaded as a dependency of
+	// another import never includes them, exactly like the go tool —
+	// test files are not part of a package's importable surface, and
+	// loading them for dependencies would manufacture import cycles
+	// (sim's tests may import packages that import sim). External
+	// _test packages (XTestGoFiles) are not loaded.
+	IncludeTests bool
 }
 
 // NewLoader finds the module containing dir and prepares a loader for
@@ -59,16 +71,21 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The source importer reads build.Default. Disable cgo globally so
-	// packages like net resolve to their pure-Go fallbacks, which type-
-	// check without invoking the cgo tool.
-	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
 	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	if !ok {
 		return nil, fmt.Errorf("lint: source importer unavailable")
 	}
+	// Disable cgo in the loader's own context so module packages
+	// resolve to their pure-Go fallbacks, which type-check without
+	// invoking the cgo tool. The standard-library side needs the same
+	// override but cannot take a context: importer.ForCompiler
+	// hard-wires &build.Default into its srcimporter, so importStd
+	// saves and restores the global flag around each call instead of
+	// mutating it for the life of the process (which used to leak the
+	// override into the host test binary).
 	ctxt := build.Default
+	ctxt.CgoEnabled = false
 	return &Loader{
 		fset:       fset,
 		ctxt:       ctxt,
@@ -76,6 +93,7 @@ func NewLoader(dir string) (*Loader, error) {
 		moduleRoot: root,
 		modulePath: modPath,
 		pkgs:       make(map[string]*Package),
+		rootPkgs:   make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}, nil
 }
@@ -202,13 +220,41 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 	return l.modulePath + "/" + filepath.ToSlash(rel), nil
 }
 
-// loadDir loads the package in dir under its natural import path.
+// loadDir loads the package in dir under its natural import path. As a
+// root (pattern-matched) package it includes in-package test files when
+// IncludeTests is set; the test-augmented variant is cached separately
+// from the plain one so dependency imports of the same path keep seeing
+// the importable (test-free) package.
 func (l *Loader) loadDir(dir string) (*Package, error) {
 	importPath, err := l.importPathFor(dir)
 	if err != nil {
 		return nil, err
 	}
-	return l.LoadAs(dir, importPath)
+	if !l.IncludeTests {
+		return l.LoadAs(dir, importPath)
+	}
+	if pkg, ok := l.rootPkgs[importPath]; ok {
+		return pkg, nil
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	if len(bp.TestGoFiles) == 0 {
+		pkg, err := l.LoadAs(dir, importPath)
+		if err == nil {
+			l.rootPkgs[importPath] = pkg
+		}
+		return pkg, err
+	}
+	names := make([]string, 0, len(bp.GoFiles)+len(bp.TestGoFiles))
+	names = append(names, bp.GoFiles...)
+	names = append(names, bp.TestGoFiles...)
+	pkg, err := l.check(dir, importPath, names)
+	if err == nil {
+		l.rootPkgs[importPath] = pkg
+	}
+	return pkg, err
 }
 
 // LoadAs parses and type-checks the single package in dir, recording
@@ -229,8 +275,19 @@ func (l *Loader) LoadAs(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %w", dir, err)
 	}
+	pkg, err := l.check(dir, importPath, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// check parses the named files in dir and type-checks them as one
+// package under importPath.
+func (l *Loader) check(dir, importPath string, names []string) (*Package, error) {
 	pkg := &Package{Path: importPath, Dir: dir, Fset: l.fset}
-	for _, name := range bp.GoFiles {
+	for _, name := range names {
 		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
@@ -251,7 +308,6 @@ func (l *Loader) LoadAs(dir, importPath string) (*Package, error) {
 	// Check returns an error when TypeErrors is non-empty; the partial
 	// package is still usable, and the caller decides severity.
 	pkg.Types, _ = conf.Check(importPath, l.fset, pkg.Files, pkg.Info)
-	l.pkgs[importPath] = pkg
 	return pkg, nil
 }
 
@@ -274,5 +330,18 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	return l.importStd(path)
+}
+
+// importStd type-checks a standard-library package via the source
+// importer. That importer captured &build.Default at construction and
+// offers no way to inject a context, so the cgo override is applied to
+// the global for exactly the duration of the call (the import graph of
+// the requested package is resolved entirely within it) and restored
+// after, instead of being left set for the whole process.
+func (l *Loader) importStd(path string) (*types.Package, error) {
+	saved := build.Default.CgoEnabled
+	build.Default.CgoEnabled = false
+	defer func() { build.Default.CgoEnabled = saved }()
 	return l.std.ImportFrom(path, l.moduleRoot, 0)
 }

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// metricsPackagePath is the instrument registry whose observation
+// methods the two-tier rule confines.
+const metricsPackagePath = "tlc/internal/metrics"
+
+// observeMethods maps instrument type name -> the methods that mutate
+// it. Reads (Value, Count, Sum) and registration (Registry.Counter,
+// Registry.Gauge, Registry.Histogram) stay legal everywhere.
+var observeMethods = map[string]map[string]bool{
+	"Counter":   {"Inc": true, "Add": true},
+	"Gauge":     {"Set": true, "Add": true},
+	"Histogram": {"Observe": true},
+}
+
+// MetricsTier enforces the two-tier instrumentation rule from PR 5,
+// previously prose in DESIGN.md: simulated substrates (internal/sim,
+// internal/netem, internal/epc, internal/faults) accumulate into plain
+// run counters and flush deltas only at run boundaries, so
+// instrumentation can never perturb event order, RNG draws or sweep
+// goldens. Concretely: inside those packages a call that observes an
+// internal/metrics instrument (Counter.Inc/Add, Gauge.Set/Add,
+// Histogram.Observe) is legal only inside a PublishMetrics function or
+// a helper reachable from one through in-package static calls.
+//
+// In-package test files are exempt — they exercise instruments
+// directly and never run inside a sweep. Live-path code that must
+// observe inline (faults.Conn on real connections) carries a
+// //tlcvet:allow metricstier waiver stating why cycle-end flushing
+// would be wrong there.
+var MetricsTier = &Analyzer{
+	Name: "metricstier",
+	Doc:  "confine internal/metrics observation in simulated substrates (sim, netem, epc, faults) to PublishMetrics",
+	Applies: func(importPath string) bool {
+		if !internalPackage(importPath) {
+			return false
+		}
+		return pathHasSegment(importPath, "sim") || pathHasSegment(importPath, "netem") ||
+			pathHasSegment(importPath, "epc") || pathHasSegment(importPath, "faults")
+	},
+	Run: runMetricsTier,
+}
+
+func runMetricsTier(pass *Pass) {
+	decls := packageFuncDecls(pass)
+	legal := publishReachable(pass, decls)
+
+	for _, file := range pass.Files {
+		if isTestFileName(pass.Fset.Position(file.Pos()).Filename) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj != nil && legal[obj] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				typeName, method, ok := observedInstrument(pass.Info, call)
+				if !ok {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s observes a metrics instrument outside PublishMetrics in a simulated substrate; count into a plain field and delta-flush at the run boundary (two-tier rule, DESIGN.md)",
+					typeName, method)
+				return true
+			})
+		}
+	}
+}
+
+// observedInstrument reports whether the call mutates an
+// internal/metrics instrument, returning the instrument type and
+// method names.
+func observedInstrument(info *types.Info, call *ast.CallExpr) (typeName, method string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	f, isFunc := info.Uses[sel.Sel].(*types.Func)
+	if !isFunc {
+		return "", "", false
+	}
+	sig, isSig := f.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != metricsPackagePath {
+		return "", "", false
+	}
+	methods, isInstrument := observeMethods[named.Obj().Name()]
+	if !isInstrument || !methods[f.Name()] {
+		return "", "", false
+	}
+	return named.Obj().Name(), f.Name(), true
+}
+
+// packageFuncDecls indexes the pass's function declarations by their
+// type-checker objects.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// publishReachable returns the functions allowed to observe
+// instruments: every PublishMetrics declaration plus the in-package
+// helpers they statically call, transitively. (The approximation is
+// one-sided: a helper also called from elsewhere stays legal, but the
+// elsewhere call site is itself in scope of this analyzer.)
+func publishReachable(pass *Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	legal := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name != "PublishMetrics" {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && !legal[obj] {
+				legal[obj] = true
+				queue = append(queue, obj)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd, ok := decls[fn]
+		if !ok {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeOf(pass.Info, call); callee != nil && !legal[callee] {
+				if _, inPkg := decls[callee]; inPkg {
+					legal[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+	return legal
+}

@@ -1,0 +1,161 @@
+// This file holds the machine-readable report formats for CI: a
+// stable JSON shape and a minimal SARIF 2.1.0 document. Both render
+// findings with paths relative to a base directory (forward-slashed
+// for SARIF's URI fields) so reports are byte-identical across
+// checkouts.
+
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// JSONReport is the `tlcvet -json` document. Findings keep the exact
+// order Run produced (file, line, column, check, message), so the
+// report is a stable CI artifact.
+type JSONReport struct {
+	// Version names the report schema, not the tool release.
+	Version  string        `json:"version"`
+	Checks   []CheckInfo   `json:"checks"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// CheckInfo describes one registered analyzer.
+type CheckInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// JSONFinding is one finding with a base-relative path.
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// BuildJSONReport assembles the -json document from findings, with
+// file paths shown relative to base when possible.
+func BuildJSONReport(findings []Finding, analyzers []*Analyzer, base string) JSONReport {
+	report := JSONReport{
+		Version:  "tlcvet-report/1",
+		Checks:   make([]CheckInfo, 0, len(analyzers)),
+		Findings: make([]JSONFinding, 0, len(findings)),
+	}
+	for _, a := range analyzers {
+		report.Checks = append(report.Checks, CheckInfo{Name: a.Name, Doc: a.Doc})
+	}
+	for _, f := range findings {
+		report.Findings = append(report.Findings, JSONFinding{
+			File:    filepath.ToSlash(relName(f.Pos.Filename, base)),
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		})
+	}
+	return report
+}
+
+// WriteJSON writes the -json report document.
+func WriteJSON(w io.Writer, findings []Finding, analyzers []*Analyzer, base string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildJSONReport(findings, analyzers, base))
+}
+
+// SARIF 2.1.0 minimum shape. Only the fields CI viewers require are
+// emitted; the schema reference lets consumers validate the rest.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF writes the findings as a SARIF 2.1.0 log, one run with
+// one rule per registered analyzer. Every finding is level "error":
+// tlcvet has no advisory tier — a finding either fails the gate or is
+// waived at the source line.
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer, base string) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(relName(f.Pos.Filename, base))},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "tlcvet", InformationURI: "https://example.invalid/tlc/internal/lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,54 @@
+package lint
+
+import "strings"
+
+// StaleAllow closes the waiver lifecycle: a //tlcvet:allow directive
+// that suppresses zero findings in the current run is itself a
+// finding, so waivers rot visibly instead of silently. Two cases:
+//
+//   - A directive whose check-name list is empty (typo'd or unknown
+//     check names) is always reported — today it silently suppresses
+//     nothing, which is worse than either suppressing or failing.
+//   - A well-formed directive is reported as stale only when every
+//     check it names actually ran (so `tlcvet -checks simtime` cannot
+//     condemn errdiscard waivers it never gave a chance to fire) and
+//     none of them used the directive.
+//
+// A directive that must outlive what it suppresses — for example one
+// guarding a build-tag configuration this run cannot see — waives its
+// own staleness: `//tlcvet:allow staleallow <reason>` on the same line
+// or the line above. StaleAllow runs after every other analyzer, as a
+// program-level pass over the accumulated usage state.
+var StaleAllow = &Analyzer{
+	Name:       "staleallow",
+	Doc:        "flag //tlcvet:allow directives that suppress no findings in the current run",
+	RunProgram: runStaleAllow,
+}
+
+func runStaleAllow(prog *Program) {
+	for _, da := range prog.directivesInOrder() {
+		pass := prog.Pass(da.pkg, "staleallow")
+		d := da.dir
+		if len(d.checks) == 0 {
+			pass.Reportf(d.pos,
+				"//tlcvet:allow names no registered check, so it suppresses nothing; fix the check name or delete the directive")
+			continue
+		}
+		if da.used[d] {
+			continue
+		}
+		ran := true
+		for _, c := range d.checks {
+			if !prog.Ran(c) {
+				ran = false
+				break
+			}
+		}
+		if !ran {
+			continue // a partial -checks run cannot judge this waiver
+		}
+		pass.Reportf(d.pos,
+			"stale waiver: //tlcvet:allow %s suppresses no findings in this run; delete it, or add `staleallow` with a reason if it guards a path this run cannot see",
+			strings.Join(d.checks, ","))
+	}
+}

@@ -1,0 +1,33 @@
+// Package goroleak exercises goroutine stop-path analysis: every go
+// statement in a long-lived component needs a reachable way for the
+// goroutine to end.
+package goroleak
+
+type server struct {
+	work chan int
+	stop chan struct{}
+}
+
+// serve spawns the classic leak: the bare break exits the select, not
+// the for, so the goroutine can never end.
+func (s *server) serve() {
+	go func() { // want goroleak "no stop path"
+		for {
+			select {
+			case v := <-s.work:
+				if v == 0 {
+					break
+				}
+			}
+		}
+	}()
+	go s.pump() // want goroleak "no stop path"
+}
+
+// pump's unbounded loop lives in a helper; the analysis follows the
+// static call from the go statement.
+func (s *server) pump() {
+	for {
+		<-s.work
+	}
+}

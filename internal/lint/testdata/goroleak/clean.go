@@ -1,0 +1,34 @@
+package goroleak
+
+// drain's goroutines all stop: a select case returning on the stop
+// channel, a range loop ended by channel close, and a labeled break
+// that really targets the loop.
+func (s *server) drain() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+	go func() {
+		for v := range s.work {
+			_ = v
+		}
+	}()
+	go func() {
+	loop:
+		for {
+			select {
+			case <-s.stop:
+				break loop
+			case v := <-s.work:
+				_ = v
+			}
+		}
+		close(s.stop)
+	}()
+}

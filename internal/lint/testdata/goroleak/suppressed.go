@@ -1,0 +1,12 @@
+package goroleak
+
+// watch is deliberately immortal; the waiver names who owns its
+// lifetime.
+func (s *server) watch() {
+	//tlcvet:allow goroleak — fixture watcher lives for the process; the kernel reaps it
+	go func() {
+		for {
+			<-s.work
+		}
+	}()
+}

@@ -1,0 +1,48 @@
+// Package hotalloc exercises the hotalloc analyzer: a //tlcvet:hotpath
+// function and every intra-module function it statically calls may not
+// contain allocating constructs.
+package hotalloc
+
+import "fmt"
+
+type event struct {
+	at int64
+}
+
+type ring struct {
+	buf    []*event
+	held   *event
+	stamp  string
+	cached func()
+}
+
+// Step is the annotated entry point of the fixture's hot loop.
+//
+//tlcvet:hotpath fixture hot loop
+func (r *ring) Step(n int) {
+	r.held = &event{at: int64(n)} // want hotalloc "composite literal escapes"
+	r.buf = append(r.buf, r.held) // amortized self-append form: sanctioned
+	grow(r, n)
+}
+
+// grow is unannotated: the call-graph walk reaches it from Step.
+func grow(r *ring, n int) {
+	spare := new(event) // want hotalloc "new allocates"
+	r.held = spare
+	scratch := make([]*event, 0, n) // want hotalloc "make allocates"
+	r.buf = append(scratch, r.held) // want hotalloc "append outside the amortized"
+	label(r, n)
+}
+
+func label(r *ring, n int) {
+	r.stamp = fmt.Sprint()          // want hotalloc "fmt.Sprint formats"
+	r.stamp = r.stamp + "!"         // want hotalloc "string concatenation allocates"
+	r.cached = func() { r.mark(n) } // want hotalloc "captures"
+	sink(n)                         // want hotalloc "boxes int"
+	keep := any(n)                  // want hotalloc "conversion boxes int"
+	_ = keep
+}
+
+func (r *ring) mark(n int) { r.held.at = int64(n) }
+
+func sink(v any) { _ = v }

@@ -1,0 +1,21 @@
+package hotalloc
+
+import "fmt"
+
+// Pop is hot but allocation-free: slicing, self-append growth,
+// pointer-shaped interface arguments and panic formatting are all
+// sanctioned.
+//
+//tlcvet:hotpath fixture pop side
+func (r *ring) Pop(n int) *event {
+	if n < 0 {
+		panic(fmt.Sprintf("hotalloc fixture: bad n %d", n)) // a causality panic may format its last words
+	}
+	if len(r.buf) == 0 {
+		return nil
+	}
+	e := r.buf[len(r.buf)-1]
+	r.buf = r.buf[:len(r.buf)-1]
+	sink(e) // pointers ride in the interface word: no boxing
+	return e
+}

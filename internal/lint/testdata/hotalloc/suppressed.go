@@ -1,0 +1,12 @@
+package hotalloc
+
+// Refill is the slow path of the fixture loop: its allocations are
+// deliberate and each carries a waiver with the argument.
+//
+//tlcvet:hotpath fixture slow-path twin
+func (r *ring) Refill(n int) {
+	//tlcvet:allow hotalloc — pool miss: allocates once per burst high-water mark
+	r.held = &event{at: int64(n)}
+	//tlcvet:allow hotalloc — geometric growth, amortized O(1) per push
+	r.buf = make([]*event, 0, n)
+}

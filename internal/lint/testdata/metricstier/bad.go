@@ -1,0 +1,31 @@
+// Package metricstier exercises the two-tier metrics rule: inside a
+// simulated substrate, calls that observe an internal/metrics
+// instrument are legal only inside PublishMetrics or a helper it
+// reaches through in-package static calls.
+package metricstier
+
+import "tlc/internal/metrics"
+
+var (
+	reg   = metrics.New()
+	sent  = reg.Counter("fixture_sent_total", "packets sent")
+	depth = reg.Gauge("fixture_depth", "queue depth")
+	lat   = reg.Histogram("fixture_latency_seconds", "delivery latency", []float64{0.001, 0.01})
+)
+
+type link struct {
+	sent  uint64
+	depth int64
+}
+
+// push runs inside the simulated event loop; it must count into plain
+// fields and leave the instruments to PublishMetrics.
+func (l *link) push() {
+	l.sent++           // plain run counter: the legal tier
+	sent.Inc()         // want metricstier "Counter.Inc observes"
+	depth.Set(l.depth) // want metricstier "Gauge.Set observes"
+	lat.Observe(0.004) // want metricstier "Histogram.Observe observes"
+}
+
+// report only reads instruments, which is legal anywhere.
+func (l *link) report() uint64 { return sent.Value() }

@@ -1,0 +1,14 @@
+package metricstier
+
+// PublishMetrics is the run-boundary flush; it and the helpers it
+// reaches may observe instruments.
+func (l *link) PublishMetrics() {
+	flush(l)
+}
+
+// flush is legal because PublishMetrics statically calls it.
+func flush(l *link) {
+	sent.Add(l.sent)
+	l.sent = 0
+	depth.Set(l.depth)
+}

@@ -1,0 +1,18 @@
+// Package staleallow exercises the waiver lifecycle: an
+// //tlcvet:allow directive that suppresses zero findings in a full run
+// is itself a finding.
+package staleallow
+
+// value is innocent; the waiver above its return suppresses nothing
+// and has rotted.
+func value() int {
+	//tlcvet:allow simtime — left behind after a refactor // want staleallow "stale waiver"
+	return 42
+}
+
+// typo'd directives suppress nothing and are always reported, even
+// under a partial -checks run.
+func typo() int {
+	//tlcvet:allow simtym — misspelled check name // want staleallow "names no registered check"
+	return 7
+}

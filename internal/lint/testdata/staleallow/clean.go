@@ -1,0 +1,10 @@
+package staleallow
+
+import "time"
+
+// uptime really does read the wall clock; its waiver suppresses a
+// simtime finding every run and is therefore never stale.
+func uptime() time.Time {
+	//tlcvet:allow simtime — fixture exercises a waiver that stays in use
+	return time.Now()
+}

@@ -38,9 +38,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//tlcvet:hotpath observed from live packet paths
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//tlcvet:hotpath observed from live packet paths
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -52,9 +56,13 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//tlcvet:hotpath observed from live packet paths
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add moves the value by d (negative to decrease).
+//
+//tlcvet:hotpath observed from live packet paths
 func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
 // Value returns the current value.
@@ -71,6 +79,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//tlcvet:hotpath observed from live packet paths
 func (h *Histogram) Observe(v float64) {
 	// Buckets are few (typically ≤ 16); a linear scan beats binary
 	// search at this size and stays branch-predictable for the common

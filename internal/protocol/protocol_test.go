@@ -160,7 +160,7 @@ func TestRunOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	defer ln.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 
 	view := core.View{Sent: 5000, Received: 4600}
 	edge, op := parties(core.OptimalStrategy{}, core.OptimalStrategy{}, view, view, 4)
@@ -177,7 +177,7 @@ func TestRunOverTCP(t *testing.T) {
 			ch <- outcome{nil, err}
 			return
 		}
-		defer conn.Close()
+		defer conn.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 		res, err := edge.Run(conn, false)
 		ch <- outcome{res, err}
 	}()
@@ -186,7 +186,7 @@ func TestRunOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
+	defer conn.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 	ro, err := op.Run(conn, true)
 	if err != nil {
 		t.Fatal(err)
@@ -226,11 +226,11 @@ func TestTamperedMessageRejected(t *testing.T) {
 	view := core.View{Sent: 1000, Received: 900}
 	edge, op := parties(core.OptimalStrategy{}, core.OptimalStrategy{}, view, view, 5)
 	ci, cr := net.Pipe()
-	defer ci.Close()
-	defer cr.Close()
+	defer ci.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
+	defer cr.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 	go func() {
 		_, _ = op.Run(ci, true)
-		ci.Close()
+		_ = ci.Close()
 	}()
 	_, err := edge.Run(&tamperConn{Conn: cr}, false)
 	if err == nil {

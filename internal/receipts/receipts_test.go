@@ -26,6 +26,11 @@ func init() {
 	}
 }
 
+// testNow is the fixed archive timestamp used throughout: the store
+// only records the time the caller hands it, and pinning it keeps
+// these tests off the wall clock (tlcvet simtime).
+var testNow = time.Date(2019, 1, 7, 8, 13, 46, 0, time.UTC)
+
 func buildProof(t *testing.T, rng *sim.RNG, cycle int64, xe, xo uint64) []byte {
 	t.Helper()
 	plan := poc.Plan{TStart: cycle * int64(time.Hour), TEnd: (cycle + 1) * int64(time.Hour), C: 0.5}
@@ -54,7 +59,7 @@ func TestPutGetList(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := sim.NewRNG(1)
-	now := time.Date(2019, 1, 7, 8, 13, 46, 0, time.UTC)
+	now := testNow
 	p1 := buildProof(t, rng, 0, 1000, 900)
 	p2 := buildProof(t, rng, 1, 2000, 1900)
 	r1, err := store.Put(p1, now)
@@ -87,8 +92,8 @@ func TestPutDeduplicates(t *testing.T) {
 	store, _ := Open(t.TempDir())
 	rng := sim.NewRNG(2)
 	p := buildProof(t, rng, 0, 1000, 900)
-	a, _ := store.Put(p, time.Now())
-	b, _ := store.Put(p, time.Now())
+	a, _ := store.Put(p, testNow)
+	b, _ := store.Put(p, testNow)
 	if a.ID != b.ID {
 		t.Fatal("same proof got different IDs")
 	}
@@ -100,7 +105,7 @@ func TestPutDeduplicates(t *testing.T) {
 
 func TestPutRejectsGarbage(t *testing.T) {
 	store, _ := Open(t.TempDir())
-	if _, err := store.Put([]byte("garbage"), time.Now()); err == nil {
+	if _, err := store.Put([]byte("garbage"), testNow); err == nil {
 		t.Fatal("garbage archived")
 	}
 }
@@ -108,7 +113,7 @@ func TestPutRejectsGarbage(t *testing.T) {
 func TestGetDetectsTampering(t *testing.T) {
 	store, _ := Open(t.TempDir())
 	rng := sim.NewRNG(3)
-	rec, err := store.Put(buildProof(t, rng, 0, 1000, 900), time.Now())
+	rec, err := store.Put(buildProof(t, rng, 0, 1000, 900), testNow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +137,7 @@ func TestAuditAcceptsValidArchive(t *testing.T) {
 	store, _ := Open(t.TempDir())
 	rng := sim.NewRNG(4)
 	for i := int64(0); i < 5; i++ {
-		if _, err := store.Put(buildProof(t, rng, i, 1000+uint64(i), 900), time.Now()); err != nil {
+		if _, err := store.Put(buildProof(t, rng, i, 1000+uint64(i), 900), testNow); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -160,7 +165,7 @@ func TestAuditAcceptsValidArchive(t *testing.T) {
 func TestAuditFlagsWrongKeys(t *testing.T) {
 	store, _ := Open(t.TempDir())
 	rng := sim.NewRNG(5)
-	if _, err := store.Put(buildProof(t, rng, 0, 1000, 900), time.Now()); err != nil {
+	if _, err := store.Put(buildProof(t, rng, 0, 1000, 900), testNow); err != nil {
 		t.Fatal(err)
 	}
 	// Audit with swapped keys: every signature check fails.

@@ -62,7 +62,8 @@ type heapEntry struct {
 
 // push inserts e, sifting up from the new leaf.
 func (s *Scheduler) push(e heapEntry) {
-	h := append(s.events, e)
+	s.events = append(s.events, e)
+	h := s.events
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -172,6 +173,7 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
 	}
+	//tlcvet:allow hotalloc — cancellable events need a unique handle the caller keeps; hot callers that never cancel use AtPooled
 	ev := &Event{at: t, seq: s.seq, fn: fn}
 	s.push(heapEntry{at: t, seq: s.seq, ev: ev})
 	s.seq++
@@ -191,6 +193,8 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 // scheduler free list, so hot paths that never cancel (link
 // transmissions, packet sources, tickers) schedule allocation-free.
 // Use At when the caller needs Cancel.
+//
+//tlcvet:hotpath every packet transmission schedules through here
 func (s *Scheduler) AtPooled(t Time, fn func()) {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
@@ -202,6 +206,7 @@ func (s *Scheduler) AtPooled(t Time, fn func()) {
 		s.free = s.free[:n-1]
 		*ev = Event{at: t, seq: s.seq, fn: fn, pooled: true}
 	} else {
+		//tlcvet:allow hotalloc — pool miss: allocates only until the free list warms up to the burst's high-water mark
 		ev = &Event{at: t, seq: s.seq, fn: fn, pooled: true}
 	}
 	s.push(heapEntry{at: t, seq: s.seq, ev: ev})
@@ -210,6 +215,8 @@ func (s *Scheduler) AtPooled(t Time, fn func()) {
 
 // AfterPooled schedules fn to run d after now, without a handle; see
 // AtPooled.
+//
+//tlcvet:hotpath relative-time twin of AtPooled
 func (s *Scheduler) AfterPooled(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
@@ -248,6 +255,8 @@ func (s *Scheduler) Cancel(ev *Event) {
 
 // Step executes the single next event. It reports false when no
 // runnable events remain.
+//
+//tlcvet:hotpath the event loop's inner dispatch; runs once per event
 func (s *Scheduler) Step() bool {
 	for len(s.events) > 0 {
 		e := s.pop()

@@ -118,7 +118,7 @@ func TestNegotiateOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	defer ln.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 	type res struct {
 		r   *Receipt
 		err error
@@ -130,7 +130,7 @@ func TestNegotiateOverTCP(t *testing.T) {
 			ch <- res{nil, err}
 			return
 		}
-		defer conn.Close()
+		defer conn.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 		edge := NewNegotiator(Edge, plan, edgeKeys, opKeys.Public(), usage, Optimal)
 		edge.SetSeed(1)
 		r, err := edge.Negotiate(conn, false)
@@ -140,7 +140,7 @@ func TestNegotiateOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
+	defer conn.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
 	op := NewNegotiator(Operator, plan, opKeys, edgeKeys.Public(), usage, Optimal)
 	op.SetSeed(2)
 	op.SetTimeout(5 * time.Second)

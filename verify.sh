@@ -2,38 +2,64 @@
 # Tier-1 verify gate. Run from anywhere; every PR must pass this.
 #
 #   build      — everything compiles
+#   gofmt      — no file differs from canonical formatting
 #   vet        — the stock Go checks
-#   tlcvet     — project invariants: sim determinism (simtime,
-#                seededrand), PoC crypto hygiene (cryptorand), error
-#                discipline (errdiscard); see internal/lint
+#   tlcvet     — project invariants, test files included: sim
+#                determinism (simtime, seededrand), PoC crypto hygiene
+#                (cryptorand), error discipline (errdiscard),
+#                allocation-free hot paths (hotalloc), the two-tier
+#                metrics rule (metricstier), goroutine stop paths
+#                (goroleak) and waiver hygiene (staleallow); the JSON
+#                report is archived to tlcvet_report.json
 #   sweep      — parallel sweep engine smoke: ordering, panic
 #                propagation and figure parity under the race detector
 #   chaos      — end-to-end fault-injection cycle under the race
 #                detector: every fault family fires, the trace replays
 #                byte-identically, and the settlement stays bounded
-#   test -race — full test suite under the race detector
-#   e2e scrape — the live tlcd operator: concurrent connections
+#   race       — full test suite under the race detector
+#   operator   — the live tlcd operator: concurrent connections
 #                (stalled-client regression), a real HTTP scrape of
 #                /metrics and /healthz, and signal-driven drain
 #   allocs     — testing.AllocsPerRun guards for the event-engine and
 #                metrics-observation hot paths; these skip themselves
 #                under -race (its instrumentation perturbs counts), so
 #                they need this separate non-race pass
-#   bench 1x   — every benchmark compiles and survives one iteration
-#   fuzz 10s   — short coverage-guided smoke on the two adversarial
+#   bench      — every benchmark compiles and survives one iteration
+#   fuzz       — short coverage-guided smoke on the two adversarial
 #                surfaces: the protocol framing decoder and the PoC
 #                verifier (forged proofs must never verify)
 set -eu
 cd "$(dirname "$0")"
 
-go build ./...
-go vet ./...
-go run ./cmd/tlcvet ./...
-go test -run Parallel -race ./internal/experiment
-go test -run Chaos -race ./internal/experiment
-go test -race ./...
-go test -run Operator -race -count=1 ./cmd/tlcd
-go test -run ZeroAlloc ./internal/sim ./internal/netem ./internal/metrics
-go test -run '^$' -bench . -benchtime 1x ./...
-go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/protocol
-go test -run '^$' -fuzz '^FuzzPoCVerify$' -fuzztime 10s ./internal/poc
+# stage <name> <cmd...> runs one gate with a named, timed header so a
+# red CI log says which stage died and where the minutes went.
+stage() {
+	_name=$1
+	shift
+	printf '==> %-8s %s\n' "$_name" "$*"
+	_t0=$(date +%s)
+	"$@"
+	printf '<== %-8s ok (%ss)\n' "$_name" "$(($(date +%s) - _t0))"
+}
+
+gofmt_clean() {
+	_unformatted=$(gofmt -l .)
+	if [ -n "$_unformatted" ]; then
+		echo 'gofmt: the following files need gofmt -w:' >&2
+		echo "$_unformatted" >&2
+		return 1
+	fi
+}
+
+stage build go build ./...
+stage gofmt gofmt_clean
+stage vet go vet ./...
+stage tlcvet go run ./cmd/tlcvet -json-out tlcvet_report.json ./...
+stage sweep go test -run Parallel -race ./internal/experiment
+stage chaos go test -run Chaos -race ./internal/experiment
+stage race go test -race ./...
+stage operator go test -run Operator -race -count=1 ./cmd/tlcd
+stage allocs go test -run ZeroAlloc ./internal/sim ./internal/netem ./internal/metrics
+stage bench go test -run '^$' -bench . -benchtime 1x ./...
+stage fuzz go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/protocol
+stage fuzz go test -run '^$' -fuzz '^FuzzPoCVerify$' -fuzztime 10s ./internal/poc
