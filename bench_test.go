@@ -228,6 +228,34 @@ func BenchmarkCycleSimulation(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "M-events/s")
 }
 
+// BenchmarkCity runs the sharded city scenario at several shard
+// worker counts against one fixed topology (8 eNodeBs so every count
+// divides the partitions evenly). Metrics are byte-identical at every
+// count; the timing spread is the scaling story BENCH_city.json
+// records. On a single-core host the parallel counts show barrier
+// overhead rather than speedup.
+func BenchmarkCity(b *testing.B) {
+	for _, shards := range []int{0, 1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunCity(experiment.CityConfig{
+					ENodeBs: 8, UEsPerENB: 16,
+					Duration: 10 * time.Second, Seed: 4242, Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range res.Cells {
+					events += c.EventsFired
+				}
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "M-events/s")
+		})
+	}
+}
+
 func BenchmarkLinkForwarding(b *testing.B) {
 	s := sim.NewScheduler()
 	sink := &netem.Sink{}

@@ -8,6 +8,7 @@
 //	tlcbench -experiment fig12,table2 -workers -1 -json bench.json
 //	tlcbench -experiment table2 -cpuprofile cpu.pprof
 //	tlcbench -experiment faults -duration 30s -seeds 3
+//	tlcbench -experiment city -shards 0,2,4 -json BENCH_city.json
 //	tlcbench -list
 //
 // The "faults" experiment is the deterministic fault-injection sweep
@@ -17,7 +18,12 @@
 //
 // -workers fans each experiment's independent testbed cells across a
 // worker pool (0 sequential, -1 one per CPU); the regenerated output
-// is byte-identical at every setting. -json writes a machine-readable
+// is byte-identical at every setting. -shards applies to the sharded
+// "city" experiment: it runs once per listed shard worker count (0 =
+// the sequential golden path), with byte-identical metrics at every
+// count — only the per-shard events_fired/stall_ms execution report
+// changes. A shard count above the city's eNodeB count is an error
+// (exit 2), never a silent clamp. -json writes a machine-readable
 // report (per-experiment wall time, worker count and domain metrics)
 // to the given path, or to stdout when the path is "-", establishing
 // the BENCH_*.json perf trajectory tracked in the repo.
@@ -30,6 +36,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,9 +46,15 @@ import (
 
 // jsonReport is the -json document.
 type jsonReport struct {
-	// GoMaxProcs and Workers record the parallelism the run used.
-	GoMaxProcs int `json:"gomaxprocs"`
-	Workers    int `json:"workers"`
+	// GoMaxProcs, Workers and Shards record the parallelism the run
+	// used: sweep workers for the cell sweeps, shard worker counts
+	// for the sharded city simulation.
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Workers    int   `json:"workers"`
+	Shards     []int `json:"shards"`
+	// Note is a free-form host annotation (e.g. "single-core CI: no
+	// shard speedup expected").
+	Note string `json:"note,omitempty"`
 	// DurationSec and Seeds echo the sweep size.
 	DurationSec float64          `json:"duration_sec"`
 	Seeds       int              `json:"seeds"`
@@ -71,6 +84,12 @@ type jsonExperiment struct {
 	// Metrics are the experiment's domain numbers (gap ratios, ε
 	// means, negotiation rounds, …).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Shards and ShardStats appear on sharded experiments (city):
+	// the shard worker count this entry ran at (0 = sequential golden
+	// path, hence the pointer), and the per-worker events_fired /
+	// stall_ms execution report.
+	Shards     *int                   `json:"shards,omitempty"`
+	ShardStats []experiment.ShardStat `json:"shard_stats,omitempty"`
 }
 
 func main() {
@@ -79,6 +98,8 @@ func main() {
 		duration   = flag.Duration("duration", 60*time.Second, "charging cycle length per run")
 		seeds      = flag.Int("seeds", 3, "repetitions per grid point")
 		workers    = flag.Int("workers", 0, "sweep worker pool: 0 sequential, -1 one per CPU, n>0 exactly n")
+		shards     = flag.String("shards", "0", "comma list of shard worker counts for the sharded city experiment (0 = sequential golden path); city runs once per value")
+		note       = flag.String("note", "", "free-form host annotation recorded in the JSON report")
 		quick      = flag.Bool("quick", false, "small configuration for smoke runs")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		jsonPath   = flag.String("json", "", "write a JSON report to this path ('-' for stdout)")
@@ -122,40 +143,79 @@ func main() {
 		}
 	}
 
+	shardCounts := parseShards(*shards)
+
+	// Expand the run list: the sharded city experiment runs once per
+	// requested shard count; everything else runs once. Shard counts
+	// are validated up front against the city the options will build —
+	// over-asking is a hard error, never a silent clamp.
+	type runSpec struct {
+		id      string
+		shards  int
+		sharded bool
+	}
+	var specs []runSpec
+	for _, id := range ids {
+		if id != "city" {
+			specs = append(specs, runSpec{id: id})
+			continue
+		}
+		enbs, _ := experiment.CityScale(opt)
+		for _, sc := range shardCounts {
+			if sc > enbs {
+				fatalf("-shards %d exceeds the city's %d eNodeBs (refusing to clamp; shrink -shards or lengthen -duration)", sc, enbs)
+			}
+			specs = append(specs, runSpec{id: id, shards: sc, sharded: true})
+		}
+	}
+
 	report := jsonReport{
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     *workers,
+		Shards:      shardCounts,
+		Note:        *note,
 		DurationSec: opt.Duration.Seconds(),
 		Seeds:       opt.Seeds,
 	}
 	quiet := *jsonPath == "-"
 	var emptyMetrics []string
 	var ms runtime.MemStats
-	for _, id := range ids {
-		f, ok := experiment.ByID(id)
+	for _, spec := range specs {
+		f, ok := experiment.ByID(spec.id)
 		if !ok {
-			fatalf("unknown experiment %q (use -list)", id)
+			fatalf("unknown experiment %q (use -list)", spec.id)
 		}
+		o := opt
+		o.Shards = spec.shards
 		runtime.ReadMemStats(&ms)
 		allocsBefore := ms.Mallocs
 		eventsBefore := experiment.EventsFired()
 		start := time.Now()
-		res := f(opt)
+		res := f(o)
 		wall := time.Since(start)
 		runtime.ReadMemStats(&ms)
 		events := experiment.EventsFired() - eventsBefore
 		allocs := ms.Mallocs - allocsBefore
 		if !quiet {
-			fmt.Printf("== %s — %s ==\n%s(elapsed %v)\n\n", res.ID, res.Title, res.Text, wall.Round(time.Millisecond))
+			label := res.ID
+			if spec.sharded {
+				label = fmt.Sprintf("%s (shards=%d)", res.ID, spec.shards)
+			}
+			fmt.Printf("== %s — %s ==\n%s(elapsed %v)\n\n", label, res.Title, res.Text, wall.Round(time.Millisecond))
 		}
 		if len(res.Metrics) == 0 {
-			emptyMetrics = append(emptyMetrics, id)
+			emptyMetrics = append(emptyMetrics, spec.id)
 		}
 		entry := jsonExperiment{
 			ID: res.ID, Title: res.Title,
 			WallMS:      float64(wall.Microseconds()) / 1e3,
 			EventsFired: events,
 			Metrics:     res.Metrics,
+		}
+		if spec.sharded {
+			sc := spec.shards
+			entry.Shards = &sc
+			entry.ShardStats = res.Shards
 		}
 		if secs := wall.Seconds(); secs > 0 {
 			entry.EventsPerSec = float64(events) / secs
@@ -204,6 +264,31 @@ func main() {
 	if len(emptyMetrics) > 0 {
 		fatalf("experiments with empty metrics: %s", strings.Join(emptyMetrics, ", "))
 	}
+}
+
+// parseShards parses the -shards comma list. Negative counts are
+// rejected here; counts above the city's eNodeB total are rejected in
+// main once the scenario size is known.
+func parseShards(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			fatalf("-shards: %q is not an integer", part)
+		}
+		if n < 0 {
+			fatalf("-shards: negative shard count %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		fatalf("-shards: empty list")
+	}
+	return out
 }
 
 func fatalf(format string, args ...any) {

@@ -32,6 +32,11 @@ type Options struct {
 	// CPU, any other value that many goroutines. Output is
 	// byte-identical at every setting (see sweep.go).
 	Workers int
+	// Shards is the shard worker count for experiments that run one
+	// sharded simulation instead of a sweep (the city scenario): 0
+	// runs the sequential golden path, W >= 1 runs W shard workers.
+	// Like Workers, output is byte-identical at every setting.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +69,20 @@ type Result struct {
 	// machine-readable form (gap ratios, ε means, negotiation
 	// rounds, …) for tlcbench's JSON output and perf tracking.
 	Metrics map[string]float64
+	// Shards reports per-worker execution statistics for sharded
+	// experiments (the city scenario); nil for sweep experiments.
+	// Unlike Metrics and Text — which are byte-identical at any shard
+	// count — this reflects the actual execution layout, and StallMS
+	// is wall-clock, so it never participates in golden comparisons.
+	Shards []ShardStat
+}
+
+// ShardStat is one shard worker's share of a sharded experiment run.
+type ShardStat struct {
+	Shard       int     `json:"shard"`
+	Partitions  int     `json:"partitions"`
+	EventsFired uint64  `json:"events_fired"`
+	StallMS     float64 `json:"stall_ms"`
 }
 
 // fig3Apps are the three workloads of Figure 3 (gaming joins for

@@ -1,0 +1,232 @@
+// Cross-shard packet transport for the sharded event engine
+// (sim.ShardGroup). A Lane is the sending half: a one-way conduit out
+// of one partition with a fixed latency at least the shard group's
+// lookahead. An Inbox is the receiving half: it merges every lane
+// pointing at one partition and schedules the arrivals on that
+// partition's scheduler at each window barrier.
+//
+// Pools are shard-local: a packet crossing a lane is copied by value
+// into the lane buffer and its struct returns to the *source* shard's
+// pool at Send; the Inbox draws a fresh struct from the
+// *destination* shard's pool at Flush. No packet struct is ever
+// owned by two schedulers.
+//
+// Determinism: Flush merges the inbound lanes by (at, lane, seq) —
+// arrival time, then the lane's attach order, then the send order
+// within the lane — and schedules arrivals in that merged order, so
+// the destination scheduler assigns (at, seq) event keys identically
+// no matter how many worker goroutines ran the window. Arrivals ride
+// the same cached-callback FIFO ring trick as Link delivery: within
+// an Inbox every lane shares one Delay, so merged arrival times are
+// non-decreasing across flushes and each pooled delivery event pops
+// exactly the packet pushed with it.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"tlc/internal/sim"
+)
+
+// laneMsg is one packet in transit between partitions, held by value
+// so the source shard's struct can be recycled immediately.
+type laneMsg struct {
+	at  sim.Time
+	pkt Packet
+}
+
+// LaneStats counts a lane's traffic.
+type LaneStats struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// Lane is the sending half of a cross-shard conduit. It belongs to
+// the source partition: only that partition's events may call Send,
+// and only the barrier (single-threaded) drains it.
+type Lane struct {
+	Name  string
+	Delay time.Duration  // cross-shard latency; >= the group lookahead
+	Sched *sim.Scheduler // source partition's clock
+	Pool  *PacketPool    // source partition's pool (packets return here)
+
+	Stats LaneStats
+
+	buf       []laneMsg
+	published bool
+}
+
+// NewLane returns a lane out of the partition owning sched and pool.
+func NewLane(name string, delay time.Duration, sched *sim.Scheduler, pool *PacketPool) *Lane {
+	if delay <= 0 {
+		panic(fmt.Sprintf("netem: non-positive lane delay on %q", name))
+	}
+	return &Lane{Name: name, Delay: delay, Sched: sched, Pool: pool}
+}
+
+// Send puts a packet on the lane. The packet is copied by value and
+// its struct returns to the source pool; the caller must not touch it
+// afterwards. Delivery happens on the destination partition at
+// now+Delay, after the next window barrier. Send must run from an
+// event strictly after time zero: the very first window is closed
+// [0, L] rather than half-open, so a send at exactly t=0 would arrive
+// exactly on the first barrier, which Flush rejects.
+//
+//tlcvet:hotpath cross-shard egress; every forwarded packet takes one copy through here
+func (l *Lane) Send(p *Packet) {
+	l.Stats.Packets++
+	l.Stats.Bytes += uint64(p.Size)
+	l.buf = append(l.buf, laneMsg{at: l.Sched.Now() + sim.Time(l.Delay), pkt: *p})
+	l.Pool.Put(p)
+}
+
+// Pending returns the number of packets buffered since the last
+// barrier flush.
+func (l *Lane) Pending() int { return len(l.buf) }
+
+// InboxStats counts arrivals delivered into the destination
+// partition.
+type InboxStats struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// Inbox is the receiving half: all lanes into one partition. It
+// implements sim.Exchanger; register it on the shard group and attach
+// every inbound lane. All attached lanes must share one Delay (the
+// FIFO arrival ring depends on it; see the package comment).
+type Inbox struct {
+	Name  string
+	Sched *sim.Scheduler // destination partition's scheduler
+	Pool  *PacketPool    // destination partition's pool
+	Dst   Node           // where arrivals are delivered
+
+	Stats InboxStats
+
+	lanes []*Lane
+	heads []int // per-lane merge cursor, reused across flushes
+
+	ring      []*Packet // FIFO of packets awaiting their delivery event
+	ringHead  int
+	ringLen   int
+	deliverFn func()
+
+	published bool
+}
+
+// NewInbox returns the receiving half for the partition owning sched
+// and pool, delivering arrivals to dst.
+func NewInbox(name string, sched *sim.Scheduler, pool *PacketPool, dst Node) *Inbox {
+	return &Inbox{Name: name, Sched: sched, Pool: pool, Dst: dst}
+}
+
+// Attach registers an inbound lane. Lanes merge in attach order —
+// part of the deterministic (at, lane, seq) key — and must all carry
+// the inbox's single Delay.
+func (ib *Inbox) Attach(l *Lane) {
+	if len(ib.lanes) > 0 && l.Delay != ib.lanes[0].Delay {
+		panic(fmt.Sprintf("netem: inbox %q mixes lane delays %v and %v; the arrival ring needs one",
+			ib.Name, ib.lanes[0].Delay, l.Delay))
+	}
+	ib.lanes = append(ib.lanes, l)
+	ib.heads = append(ib.heads, 0)
+}
+
+// MinDelay implements sim.Exchanger.
+func (ib *Inbox) MinDelay() time.Duration {
+	if len(ib.lanes) == 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	return ib.lanes[0].Delay
+}
+
+// Flush implements sim.Exchanger: it merges every attached lane's
+// buffered packets by (at, lane, seq) and schedules their deliveries
+// on the destination scheduler. It runs single-threaded at the
+// window barrier, which is what makes touching the destination pool
+// and scheduler safe.
+//
+//tlcvet:hotpath cross-shard ingress; runs at every window barrier and once per forwarded packet
+func (ib *Inbox) Flush(limit sim.Time) {
+	for {
+		best := -1
+		var bestAt sim.Time
+		for li, l := range ib.lanes {
+			h := ib.heads[li]
+			if h >= len(l.buf) {
+				continue
+			}
+			if best < 0 || l.buf[h].at < bestAt {
+				best, bestAt = li, l.buf[h].at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		m := &ib.lanes[best].buf[ib.heads[best]]
+		ib.heads[best]++
+		if m.at <= limit {
+			panic(fmt.Sprintf("netem: inbox %q message at %v violates the window barrier at %v", ib.Name, m.at, limit))
+		}
+		ib.Stats.Packets++
+		ib.Stats.Bytes += uint64(m.pkt.Size)
+		p := ib.Pool.Get()
+		*p = m.pkt
+		ib.ringPush(p)
+		if ib.deliverFn == nil {
+			//tlcvet:allow hotalloc — allocated once per inbox on first use, then cached in deliverFn
+			ib.deliverFn = func() {
+				pkt := ib.ringPop()
+				if ib.Dst != nil {
+					ib.Dst.Recv(pkt)
+				}
+			}
+		}
+		ib.Sched.AtPooled(m.at, ib.deliverFn)
+	}
+	for li, l := range ib.lanes {
+		if ib.heads[li] > 0 {
+			l.buf = l.buf[:0]
+			ib.heads[li] = 0
+		}
+	}
+}
+
+// ringPush appends to the arrival ring, growing it when full.
+func (ib *Inbox) ringPush(p *Packet) {
+	if ib.ringLen == len(ib.ring) {
+		ib.ringGrow()
+	}
+	ib.ring[(ib.ringHead+ib.ringLen)&(len(ib.ring)-1)] = p
+	ib.ringLen++
+}
+
+// ringPop removes and returns the oldest pending arrival.
+func (ib *Inbox) ringPop() *Packet {
+	p := ib.ring[ib.ringHead]
+	ib.ring[ib.ringHead] = nil
+	ib.ringHead = (ib.ringHead + 1) & (len(ib.ring) - 1)
+	ib.ringLen--
+	return p
+}
+
+// ringGrow doubles the ring (16 slots minimum), unwrapping the FIFO
+// to the front of the new buffer.
+func (ib *Inbox) ringGrow() {
+	n := len(ib.ring) * 2
+	if n == 0 {
+		n = 16
+	}
+	//tlcvet:allow hotalloc — geometric doubling; amortized O(1) per push and quiescent once the ring reaches the in-flight high-water mark
+	buf := make([]*Packet, n)
+	for i := 0; i < ib.ringLen; i++ {
+		buf[i] = ib.ring[(ib.ringHead+i)&(len(ib.ring)-1)]
+	}
+	ib.ring = buf
+	ib.ringHead = 0
+}
+
+// Arrived returns the number of packets delivered into this partition
+// over all flushes.
+func (ib *Inbox) Arrived() uint64 { return ib.Stats.Packets }

@@ -57,6 +57,14 @@ var (
 		"packets dropped by the congestion LoadDropper")
 	mLoadForwarded = metrics.Default.Counter("netem_load_forwarded_packets_total",
 		"packets forwarded by the congestion LoadDropper")
+	mLanePackets = metrics.Default.Counter("netem_lane_packets_total",
+		"packets sent across shard exchange lanes")
+	mLaneBytes = metrics.Default.Counter("netem_lane_bytes_total",
+		"bytes sent across shard exchange lanes")
+	mInboxPackets = metrics.Default.Counter("netem_inbox_arrivals_total",
+		"cross-shard packets delivered into destination partitions")
+	mInboxBytes = metrics.Default.Counter("netem_inbox_arrival_bytes_total",
+		"cross-shard bytes delivered into destination partitions")
 )
 
 // PublishMetrics flushes the link's cumulative counters into the
@@ -82,6 +90,30 @@ func (d *LoadDropper) PublishMetrics() {
 	d.published = true
 	mLoadDropped.Add(d.Dropped)
 	mLoadForwarded.Add(d.Forwarded)
+}
+
+// PublishMetrics flushes the lane's counters into the process metrics
+// registry, once. Like every publisher it runs only at a run boundary
+// (the two-tier rule): the lane's hot path touches only its own plain
+// LaneStats.
+func (l *Lane) PublishMetrics() {
+	if l == nil || l.published {
+		return
+	}
+	l.published = true
+	mLanePackets.Add(l.Stats.Packets)
+	mLaneBytes.Add(l.Stats.Bytes)
+}
+
+// PublishMetrics flushes the inbox's counters into the process metrics
+// registry, once.
+func (ib *Inbox) PublishMetrics() {
+	if ib == nil || ib.published {
+		return
+	}
+	ib.published = true
+	mInboxPackets.Add(ib.Stats.Packets)
+	mInboxBytes.Add(ib.Stats.Bytes)
 }
 
 // PublishMetrics flushes the pool's counters into the process metrics

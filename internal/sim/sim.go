@@ -149,6 +149,13 @@ type Scheduler struct {
 	// already flushed to the registry, so publishes are delta-exact.
 	publishedFired     uint64
 	publishedFreeDrops uint64
+
+	// TraceHook, when non-nil, observes every fired (non-cancelled)
+	// event's (at, seq) key just before its callback runs. It exists
+	// for the shard-vs-sequential differential tests, which hash the
+	// fired-event stream of each partition; production runs leave it
+	// nil and pay one predictable branch per event.
+	TraceHook func(at Time, seq uint64)
 }
 
 // NewScheduler returns an empty scheduler positioned at time zero.
@@ -267,6 +274,9 @@ func (s *Scheduler) Step() bool {
 		}
 		s.now = e.at
 		s.fired++
+		if s.TraceHook != nil {
+			s.TraceHook(e.at, e.seq)
+		}
 		fn := ev.fn
 		s.recycle(ev)
 		fn()

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"testing"
+)
+
+// TestShardParityMergeKeepsPartitionOrder pins the sharded-metrics
+// merge rule: Merge concatenates per-partition contributions in the
+// exact order given — never sorted, never completion order — and
+// reading percentiles off the merged sample must not disturb the
+// parts, so a later render of the same parts is byte-identical.
+func TestShardParityMergeKeepsPartitionOrder(t *testing.T) {
+	a := NewSample(3, 1)
+	b := NewSample(2)
+	c := NewSample(5, 4)
+	m := Merge(a, nil, b, c)
+	want := []float64{3, 1, 2, 5, 4}
+	got := m.Values()
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v (contribution order not preserved)", got, want)
+		}
+	}
+
+	// Sorting reads on the merged sample must not leak into the parts
+	// or into a re-merge.
+	if p := m.Percentile(95); p != 4.8 {
+		t.Fatalf("p95 = %v, want 4.8", p)
+	}
+	if av := a.Values(); av[0] != 3 || av[1] != 1 {
+		t.Fatalf("Percentile on merged sample mutated a part: %v", av)
+	}
+	again := Merge(a, nil, b, c).Values()
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("re-merge %v, want %v", again, want)
+		}
+	}
+
+	// Render the same parts twice (first render sorts internally):
+	// identical bytes both times.
+	r1 := RenderCDF("x", Merge(a, b, c), 4)
+	r2 := RenderCDF("x", Merge(a, b, c), 4)
+	if r1 != r2 {
+		t.Fatalf("re-rendered CDF differs:\n%s\nvs\n%s", r1, r2)
+	}
+
+	if m := Merge(); m.Len() != 0 {
+		t.Fatalf("empty merge has %d values", m.Len())
+	}
+}

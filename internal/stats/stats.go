@@ -32,6 +32,23 @@ func (s *Sample) Add(values ...float64) {
 // Len returns the number of observations.
 func (s *Sample) Len() int { return len(s.values) }
 
+// Merge concatenates per-partition sample contributions into one
+// Sample, strictly preserving the caller's part order and each part's
+// insertion order. Sharded runs depend on this: contributions must
+// merge in partition index order — never worker completion order — so
+// a rendered CDF is byte-identical at any shard count. (Percentile
+// and CDF sort lazily on read without mutating the parts.)
+func Merge(parts ...*Sample) *Sample {
+	out := &Sample{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.values = append(out.values, p.values...)
+	}
+	return out
+}
+
 // Values returns a copy of the raw observations.
 func (s *Sample) Values() []float64 {
 	out := make([]float64, len(s.values))

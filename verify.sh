@@ -13,6 +13,9 @@
 #                report is archived to tlcvet_report.json
 #   sweep      — parallel sweep engine smoke: ordering, panic
 #                propagation and figure parity under the race detector
+#   shardparity — sharded event engine determinism under the race
+#                detector: byte-identical city replay across shard
+#                counts, lane merge order, randomized differential
 #   chaos      — end-to-end fault-injection cycle under the race
 #                detector: every fault family fires, the trace replays
 #                byte-identically, and the settlement stays bounded
@@ -24,7 +27,9 @@
 #                metrics-observation hot paths; these skip themselves
 #                under -race (its instrumentation perturbs counts), so
 #                they need this separate non-race pass
-#   bench      — every benchmark compiles and survives one iteration
+#   bench      — every benchmark compiles and survives one iteration,
+#                plus a quick sharded city run at -shards 2 through
+#                the tlcbench CLI (exercises the -shards plumbing)
 #   fuzz       — short coverage-guided smoke on the two adversarial
 #                surfaces: the protocol framing decoder and the PoC
 #                verifier (forged proofs must never verify)
@@ -42,6 +47,10 @@ stage() {
 	printf '<== %-8s ok (%ss)\n' "$_name" "$(($(date +%s) - _t0))"
 }
 
+city_smoke() {
+	go run ./cmd/tlcbench -experiment city -quick -shards 2 -json - >/dev/null
+}
+
 gofmt_clean() {
 	_unformatted=$(gofmt -l .)
 	if [ -n "$_unformatted" ]; then
@@ -56,10 +65,12 @@ stage gofmt gofmt_clean
 stage vet go vet ./...
 stage tlcvet go run ./cmd/tlcvet -json-out tlcvet_report.json ./...
 stage sweep go test -run Parallel -race ./internal/experiment
+stage shardparity go test -run ShardParity -race ./internal/sim ./internal/netem ./internal/stats ./internal/experiment
 stage chaos go test -run Chaos -race ./internal/experiment
 stage race go test -race ./...
 stage operator go test -run Operator -race -count=1 ./cmd/tlcd
 stage allocs go test -run ZeroAlloc ./internal/sim ./internal/netem ./internal/metrics
 stage bench go test -run '^$' -bench . -benchtime 1x ./...
+stage bench city_smoke
 stage fuzz go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/protocol
 stage fuzz go test -run '^$' -fuzz '^FuzzPoCVerify$' -fuzztime 10s ./internal/poc
