@@ -112,6 +112,14 @@ func main() {
 		fmt.Println(strings.Join(experiment.IDs, "\n"))
 		return
 	}
+	if *flagLGCheck != "" {
+		lgCheck(*flagLGCheck)
+		return
+	}
+	if *flagLoadgen || *flagLGSmoke {
+		runLoadgen()
+		return
+	}
 
 	opt := experiment.Options{Duration: *duration, Seeds: *seeds}
 	if *quick {

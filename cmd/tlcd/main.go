@@ -51,9 +51,12 @@ import (
 	"time"
 
 	"tlc"
+	"tlc/internal/core"
 	"tlc/internal/faults"
 	"tlc/internal/metrics"
+	"tlc/internal/poc"
 	"tlc/internal/protocol"
+	"tlc/internal/session"
 	"tlc/internal/sim"
 )
 
@@ -77,6 +80,12 @@ func main() {
 		maxConns = flag.Int("max-conns", 64, "operator: max concurrent negotiations")
 		connTO   = flag.Duration("conn-timeout", time.Minute, "per-connection read/write deadline")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "operator shutdown: max wait for in-flight negotiations")
+		shards   = flag.Int("session-shards", 8, "operator: session-table shards (power of two)")
+		workers  = flag.Int("session-workers", 2, "operator: crypto worker pool size")
+		maxSess  = flag.Int("max-sessions", 1<<20, "operator: resident session cap across all shards")
+		pending  = flag.Int("session-pending", 1024, "operator: queued frames per shard before overload rejection")
+		muxTO    = flag.Duration("mux-conn-timeout", 15*time.Minute, "deadline for multiplexed connections (carry many sessions, so much longer than -conn-timeout)")
+		verbose  = flag.Bool("v", false, "log every settlement instead of a 1-in-1024 sample")
 	)
 	flag.Parse()
 
@@ -121,7 +130,34 @@ func main() {
 			plan: plan, keys: keys, usage: usage, strat: strat,
 			proofOut: *proofOut, once: *once, spec: spec, faultSeed: *faultSd,
 			maxConns: *maxConns, connTimeout: *connTO, drainTimeout: *drainTO,
+			verbose: *verbose, muxTimeout: *muxTO,
 		}
+		var coreStrat core.Strategy = core.OptimalStrategy{}
+		switch strat {
+		case tlc.Honest:
+			coreStrat = core.HonestStrategy{}
+		case tlc.RandomSelfish:
+			coreStrat = core.RandomSelfishStrategy{}
+		}
+		procStart := time.Now()
+		eng, err := session.NewEngine(session.EngineConfig{
+			Config: session.Config{
+				Role:     poc.RoleOperator,
+				Plan:     poc.Plan{TStart: plan.Start.UnixNano(), TEnd: plan.End.UnixNano(), C: plan.C},
+				Key:      keys.Signer(),
+				Strategy: coreStrat,
+				View:     core.View{Sent: float64(usage.Sent), Received: float64(usage.Received)},
+			},
+			Shards: *shards, Workers: *workers,
+			MaxSessions: *maxSess, MaxPending: *pending,
+			Seed:      time.Now().UnixNano(),
+			Stopwatch: func() float64 { return time.Since(procStart).Seconds() },
+			OnSettle:  op.onSettle,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		op.engine = eng
 		if err := op.run(*listen, *httpAddr); err != nil {
 			log.Fatal(err)
 		}
@@ -150,8 +186,12 @@ func wrapFaults(conn net.Conn, spec *faults.Spec, seed int64) (io.ReadWriter, *f
 }
 
 // exchangeKeys swaps PKIX-encoded public keys over the connection:
-// each side writes its key as one frame and reads the peer's.
-func exchangeKeys(conn io.ReadWriter, own *rsa.PublicKey) (*rsa.PublicKey, error) {
+// each side writes its key as one frame and reads the peer's. When
+// the caller already read the peer's frame (the operator sniffs the
+// first frame to route mux vs legacy conns), it passes the DER in and
+// only the write happens here — same wire order either way, since
+// both sides write before reading.
+func exchangeKeys(conn io.ReadWriter, own *rsa.PublicKey, peerDER []byte) (*rsa.PublicKey, error) {
 	der, err := x509.MarshalPKIXPublicKey(own)
 	if err != nil {
 		return nil, err
@@ -159,9 +199,11 @@ func exchangeKeys(conn io.ReadWriter, own *rsa.PublicKey) (*rsa.PublicKey, error
 	if err := protocol.WriteFrame(conn, der); err != nil {
 		return nil, err
 	}
-	peerDER, err := protocol.ReadFrame(conn)
-	if err != nil {
-		return nil, err
+	if peerDER == nil {
+		peerDER, err = protocol.ReadFrame(conn)
+		if err != nil {
+			return nil, err
+		}
 	}
 	pub, err := x509.ParsePKIXPublicKey(peerDER)
 	if err != nil {
@@ -174,13 +216,31 @@ func exchangeKeys(conn io.ReadWriter, own *rsa.PublicKey) (*rsa.PublicKey, error
 	return rsaPub, nil
 }
 
+// settleLogCount samples the settlement log line: at session-engine
+// scale an unconditional log.Printf per settlement serializes every
+// crypto worker behind the log mutex. The first settlement always
+// logs (single-shot runs keep their line); -v restores every line.
+var settleLogCount atomic.Uint64
+
+const settleLogSample = 1024
+
+func logSettled(verbose bool, x uint64, rounds, proofLen int) {
+	n := settleLogCount.Add(1)
+	if verbose || (n-1)%settleLogSample == 0 {
+		log.Printf("settled: %d bytes in %d round(s); proof %d bytes (%d total)",
+			x, rounds, proofLen, n)
+	}
+}
+
 // settle runs key exchange plus one negotiation, timing the whole
 // round trip into the protocol latency histogram. Wall-clock reads
 // live here, in cmd/, so internal/ stays tlcvet simtime-clean.
+// peerDER, when non-nil, is the peer's already-read key frame.
 func settle(conn io.ReadWriter, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
-	usage tlc.Usage, strat tlc.Strategy, initiate bool, proofOut string) error {
+	usage tlc.Usage, strat tlc.Strategy, initiate bool, proofOut string,
+	verbose bool, peerDER []byte) error {
 	start := time.Now()
-	peerKey, err := exchangeKeys(conn, keys.Public())
+	peerKey, err := exchangeKeys(conn, keys.Public(), peerDER)
 	if err != nil {
 		return fmt.Errorf("key exchange: %w", err)
 	}
@@ -190,8 +250,7 @@ func settle(conn io.ReadWriter, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
 		return fmt.Errorf("negotiate: %w", err)
 	}
 	protocol.Metrics.NegotiateSeconds.Observe(time.Since(start).Seconds())
-	log.Printf("settled: %d bytes in %d round(s); proof %d bytes",
-		receipt.X, receipt.Rounds, len(receipt.Proof))
+	logSettled(verbose, receipt.X, receipt.Rounds, len(receipt.Proof))
 	if proofOut != "" {
 		if err := os.WriteFile(proofOut, receipt.Proof, 0o644); err != nil {
 			return err
@@ -216,6 +275,13 @@ type operator struct {
 	maxConns     int
 	connTimeout  time.Duration
 	drainTimeout time.Duration
+	verbose      bool
+
+	// engine, when non-nil, serves multiplexed (TLCMUX1) connections;
+	// legacy single-session conns keep the settle path. muxTimeout is
+	// the deadline for mux conns, which carry many sessions.
+	engine     *session.Engine
+	muxTimeout time.Duration
 
 	ln      net.Listener
 	closing atomic.Bool
@@ -260,6 +326,9 @@ func (o *operator) serveWith(ln, debugLn net.Listener) error {
 	if debugLn != nil {
 		debug = startDebugServer(debugLn)
 	}
+	if o.engine != nil {
+		o.engine.Start()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -292,6 +361,9 @@ func (o *operator) serveWith(ln, debugLn net.Listener) error {
 		log.Printf("listener close: %v", err)
 	}
 	o.drain()
+	if o.engine != nil {
+		o.engine.Stop()
+	}
 	if debug != nil {
 		if err := debug.Close(); err != nil {
 			log.Printf("debug server close: %v", err)
@@ -327,6 +399,20 @@ func (o *operator) acceptLoop(acceptErr chan<- error) {
 	}
 }
 
+// onSettle is the session engine's per-settlement hook; it shares the
+// sampled settlement log with the legacy path. It runs on a crypto
+// worker, so the non-logging case is one atomic increment.
+func (o *operator) onSettle(conn, sid, x uint64, rounds int) {
+	n := settleLogCount.Add(1)
+	if o.verbose || (n-1)%settleLogSample == 0 {
+		log.Printf("settled: %d bytes in %d round(s) (mux conn %d sid %d; %d total)",
+			x, rounds, conn, sid, n)
+	}
+}
+
+// serve routes one accepted connection by its first frame: a TLCMUX1
+// hello hands the whole connection to the session engine, anything
+// else (a bare PKIX key frame) is a legacy single-session negotiation.
 func (o *operator) serve(conn net.Conn) {
 	defer conn.Close() //tlcvet:allow errdiscard — negotiation already settled or failed; close is cleanup
 	if err := conn.SetDeadline(time.Now().Add(o.connTimeout)); err != nil {
@@ -334,7 +420,24 @@ func (o *operator) serve(conn net.Conn) {
 		return
 	}
 	rw, tr := wrapFaults(conn, o.spec, o.faultSeed)
-	if err := settle(rw, tlc.Operator, o.plan, o.keys, o.usage, o.strat, true, o.proofOut); err != nil {
+	first, err := protocol.ReadFrame(rw)
+	if err != nil {
+		log.Printf("first frame from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if _, ok := session.IsHello(first); ok && o.engine != nil {
+		// Mux conns carry many sessions, so they get the longer
+		// deadline; per-session progress is bounded by admission
+		// control, not the socket clock.
+		if err := conn.SetDeadline(time.Now().Add(o.muxTimeout)); err != nil {
+			log.Printf("set mux deadline for %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := o.engine.ServeConn(rw, first); err != nil {
+			log.Printf("mux conn %s: %v", conn.RemoteAddr(), err)
+		}
+	} else if err := settle(rw, tlc.Operator, o.plan, o.keys, o.usage, o.strat,
+		true, o.proofOut, o.verbose, first); err != nil {
 		log.Printf("negotiation with %s failed: %v", conn.RemoteAddr(), err)
 	}
 	if tr != nil {
@@ -442,7 +545,7 @@ func runEdge(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
 		// A fresh fault stream per attempt, seeded off the attempt
 		// index so replays of the whole retry sequence are identical.
 		rw, tr := wrapFaults(conn, spec, faultSeed+int64(attempt))
-		serr := settle(rw, tlc.Edge, plan, keys, usage, strat, false, proofOut)
+		serr := settle(rw, tlc.Edge, plan, keys, usage, strat, false, proofOut, true, nil)
 		if tr != nil {
 			log.Printf("attempt %d fault injection: %s", attempt+1, tr.Summary())
 		}

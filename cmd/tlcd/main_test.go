@@ -11,7 +11,10 @@ import (
 	"time"
 
 	"tlc"
+	"tlc/internal/core"
 	"tlc/internal/metrics"
+	"tlc/internal/poc"
+	"tlc/internal/session"
 )
 
 // testParties generates a key pair per side and a shared plan/usage
@@ -65,7 +68,7 @@ func edgeSettle(t *testing.T, addr string, keys *tlc.KeyPair, plan tlc.Plan, usa
 	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
-	return settle(conn, tlc.Edge, plan, keys, usage, tlc.Honest, false, "")
+	return settle(conn, tlc.Edge, plan, keys, usage, tlc.Honest, false, "", true, nil)
 }
 
 func scrapeMetric(t *testing.T, debugAddr, series string) (float64, bool) {
@@ -185,6 +188,84 @@ func TestOperatorOnceExits(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("once-operator did not exit after first negotiation")
+	}
+}
+
+// TestOperatorMuxAndLegacyCoexist drives both connection flavours at
+// one operator listener: a legacy single-session conn (bare key frame)
+// and multiplexed TLCMUX1 conns carrying many sessions each. The
+// first-frame sniff in serve must route both correctly.
+func TestOperatorMuxAndLegacyCoexist(t *testing.T) {
+	opKeys, edgeKeys, plan, usage := testParties(t)
+	op := &operator{
+		plan: plan, keys: opKeys, usage: usage, strat: tlc.Optimal,
+		once: false, maxConns: 4,
+		connTimeout: 30 * time.Second, drainTimeout: 5 * time.Second,
+		muxTimeout: 2 * time.Minute,
+		stop:       make(chan struct{}),
+	}
+	eng, err := session.NewEngine(session.EngineConfig{
+		Config: session.Config{
+			Role:     poc.RoleOperator,
+			Plan:     poc.Plan{TStart: plan.Start.UnixNano(), TEnd: plan.End.UnixNano(), C: plan.C},
+			Key:      opKeys.Signer(),
+			Strategy: core.OptimalStrategy{},
+			View:     core.View{Sent: float64(usage.Sent), Received: float64(usage.Received)},
+		},
+		Shards: 2, Workers: 2, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.engine = eng
+	addr, _, exited := startOperator(t, op, false)
+
+	// Legacy conn first: the sniff must fall through to settle.
+	if err := edgeSettle(t, addr, edgeKeys, plan, usage); err != nil {
+		t.Fatalf("legacy settle against mux-enabled operator: %v", err)
+	}
+
+	const sessions = 40
+	conns := make([]io.ReadWriter, 2)
+	for i := range conns {
+		c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
+		if err := c.SetDeadline(time.Now().Add(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	res, err := session.RunClient(session.ClientConfig{
+		Config: session.Config{
+			Role:     poc.RoleEdge,
+			Plan:     poc.Plan{TStart: plan.Start.UnixNano(), TEnd: plan.End.UnixNano(), C: plan.C},
+			Key:      edgeKeys.Signer(),
+			Strategy: core.OptimalStrategy{},
+			View:     core.View{Sent: float64(usage.Sent), Received: float64(usage.Received)},
+		},
+		Sessions: sessions,
+		Conns:    conns,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Settled != sessions || res.Rejected != 0 || res.Failed != 0 {
+		t.Fatalf("mux settled/rejected/failed = %d/%d/%d, want %d/0/0",
+			res.Settled, res.Rejected, res.Failed, sessions)
+	}
+
+	close(op.stop)
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("operator exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("operator did not drain and exit")
 	}
 }
 

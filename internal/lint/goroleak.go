@@ -8,8 +8,10 @@ import (
 
 // GoroLeak guards goroutine lifecycle in the long-lived components:
 // cmd/tlcd (a daemon that must drain cleanly on SIGTERM),
-// internal/protocol (whose parties tlcd spawns per connection) and
-// internal/sim (whose shard workers must all park before RunUntil
+// internal/protocol (whose parties tlcd spawns per connection),
+// internal/session (whose crypto workers and per-conn writer
+// goroutines live as long as the daemon) and internal/sim (whose
+// shard workers must all park before RunUntil
 // returns, even when a partition panics). Every
 // `go` statement there must have a reachable stop path: each
 // unconditional `for` loop in the spawned body — or in an in-package
@@ -30,10 +32,10 @@ import (
 // //tlcvet:allow goroleak waiver naming who owns its lifetime.
 var GoroLeak = &Analyzer{
 	Name: "goroleak",
-	Doc:  "require a reachable stop path for goroutines in long-lived components (cmd/tlcd, internal/protocol, internal/sim)",
+	Doc:  "require a reachable stop path for goroutines in long-lived components (cmd/tlcd, internal/protocol, internal/session, internal/sim)",
 	Applies: func(importPath string) bool {
 		return pathHasSegment(importPath, "tlcd") || pathHasSegment(importPath, "protocol") ||
-			pathHasSegment(importPath, "sim")
+			pathHasSegment(importPath, "session") || pathHasSegment(importPath, "sim")
 	},
 	Run: runGoroLeak,
 }

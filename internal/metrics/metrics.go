@@ -106,6 +106,85 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// BucketBounds returns a copy of the finite upper bucket bounds (the
+// implicit +Inf bucket is not listed).
+func (h *Histogram) BucketBounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns a point-in-time copy of the per-bucket
+// observation counts; the final entry is the +Inf bucket. Paired with
+// BucketBounds it lets callers compute quantiles over a window by
+// differencing two snapshots (see Quantile).
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observations
+// from the live bucket counts; see the package-level Quantile for the
+// estimation rules.
+func (h *Histogram) Quantile(q float64) float64 {
+	return Quantile(h.bounds, h.BucketCounts(), q)
+}
+
+// Quantile estimates the q-quantile of a bucketed distribution:
+// bounds are the finite upper bucket bounds and counts the per-bucket
+// observation counts with the +Inf bucket last (the shapes returned by
+// BucketBounds/BucketCounts, or an element-wise difference of two
+// BucketCounts snapshots for a per-run window). The estimate
+// interpolates linearly inside the selected bucket (from 0 for the
+// first). Values landing in the +Inf bucket are clamped to the highest
+// finite bound — a histogram cannot say more — and an empty
+// distribution reports NaN.
+func Quantile(bounds []float64, counts []uint64, q float64) float64 {
+	if len(counts) != len(bounds)+1 {
+		panic("metrics: Quantile needs len(counts) == len(bounds)+1")
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(bounds) {
+			// +Inf bucket: clamp to the last finite bound.
+			if len(bounds) == 0 {
+				return math.Inf(1)
+			}
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + (bounds[i]-lo)*frac
+	}
+	if len(bounds) == 0 {
+		return math.Inf(1)
+	}
+	return bounds[len(bounds)-1]
+}
+
 // ExpBuckets returns n exponentially growing bucket bounds starting
 // at start and multiplying by factor.
 func ExpBuckets(start, factor float64, n int) []float64 {

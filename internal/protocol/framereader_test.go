@@ -1,0 +1,108 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameReaderParity pins FrameReader to ReadFrame's observable
+// behaviour over the same byte streams: identical frames on success,
+// identical error classification on every failure mode.
+func TestFrameReaderParity(t *testing.T) {
+	frame := func(body []byte) []byte {
+		var b bytes.Buffer
+		if err := WriteFrame(&b, body); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	streams := [][]byte{
+		{},                       // clean EOF
+		{0, 0},                   // partial header
+		{0, 0, 0, 0},             // empty frame
+		frame([]byte("abc")),     // small frame
+		{0, 0, 0, 10, 1, 2},      // truncated body
+		{0xff, 0xff, 0xff, 0xff}, // oversize header
+		{0, 1, 0, 1},             // just past MaxFrame
+		append(frame([]byte("first")), frame(bytes.Repeat([]byte{7}, 512))...), // back-to-back
+	}
+	for _, stream := range streams {
+		ref := bytes.NewReader(stream)
+		fr := NewFrameReader(bytes.NewReader(stream))
+		for {
+			want, wantErr := ReadFrame(ref)
+			got, gotErr := fr.ReadFrame()
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("stream %x: ReadFrame err=%v FrameReader err=%v", stream, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				for _, target := range []error{ErrFrameTruncated, io.EOF} {
+					if errors.Is(wantErr, target) != errors.Is(gotErr, target) {
+						t.Fatalf("stream %x: error class diverged: %v vs %v", stream, wantErr, gotErr)
+					}
+				}
+				break
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("stream %x: frame diverged: %x vs %x", stream, want, got)
+			}
+		}
+	}
+}
+
+// TestFrameReaderReuse: the returned slice aliases the internal buffer,
+// so the next call overwrites it — the documented contract callers copy
+// around.
+func TestFrameReaderReuse(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteFrame(&b, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&b, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(&b)
+	first, err := fr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != "aaaa" {
+		t.Fatalf("first frame %q", first)
+	}
+	if _, err := fr.ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if string(first) == "aaaa" {
+		t.Fatal("second ReadFrame left the first slice untouched; buffer is not being reused")
+	}
+}
+
+// TestFrameReaderZeroAlloc guards the pooled read path: after the
+// buffer has grown once, reading frames allocates nothing. Runs in the
+// non-race allocs verify stage (AllocsPerRun is perturbed under -race).
+func TestFrameReaderZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is perturbed by the race detector")
+	}
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, bytes.Repeat([]byte{3}, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	stream := wire.Bytes()
+	r := bytes.NewReader(stream)
+	fr := NewFrameReader(r)
+	if _, err := fr.ReadFrame(); err != nil { // grow once
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(stream)
+		if _, err := fr.ReadFrame(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FrameReader.ReadFrame allocates %v per frame; want 0", allocs)
+	}
+}

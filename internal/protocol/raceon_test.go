@@ -1,0 +1,8 @@
+//go:build race
+
+package protocol
+
+// raceEnabled reports whether the race detector is compiled in; the
+// testing.AllocsPerRun guards skip themselves under it (verify.sh
+// runs them in a separate non-race pass).
+const raceEnabled = true

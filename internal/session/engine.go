@@ -1,0 +1,352 @@
+package session
+
+import (
+	"bufio"
+	"crypto/rsa"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"tlc/internal/protocol"
+)
+
+// EngineConfig sizes the sharded engine.
+type EngineConfig struct {
+	// Config is the operator-side negotiation configuration shared by
+	// every session.
+	Config
+	// Shards is the session-table split; power of two (default 8).
+	Shards int
+	// Workers is the crypto worker pool size (default 2).
+	Workers int
+	// MaxSessions caps resident sessions across all shards (default
+	// 1<<20). The cap is enforced per shard (MaxSessions/Shards), so
+	// hashing skew rejects slightly before the global cap.
+	MaxSessions int
+	// MaxPending caps queued frames per shard (default 1024).
+	MaxPending int
+	// Seed derives the per-shard strategy RNG streams.
+	Seed int64
+	// Nonce overrides CDR/CDA nonce randomness (nil = crypto/rand).
+	Nonce io.Reader
+	// Stopwatch returns elapsed seconds from an arbitrary origin; the
+	// engine reads no clock itself (tlcvet simtime), so latency is
+	// only observed when the caller injects one.
+	Stopwatch func() float64
+	// OnSettle, if set, is called after each settlement (for sampled
+	// logging); it runs on a crypto worker, so keep it cheap.
+	OnSettle func(conn, sid, x uint64, rounds int)
+}
+
+// Engine is the sharded session engine: one instance serves every mux
+// connection of a tlcd process. See the package comment for the
+// layering.
+type Engine struct {
+	cfg        Config
+	table      *table
+	keys       *KeyCache
+	ownDER     []byte
+	work       chan *shard
+	stop       chan struct{}
+	stopped    atomic.Bool
+	wg         sync.WaitGroup
+	workers    int
+	connID     atomic.Uint64
+	active     atomic.Int64
+	peakActive atomic.Int64
+	stopwatch  func() float64
+	onSettle   func(conn, sid, x uint64, rounds int)
+}
+
+// NewEngine validates the configuration and builds the engine; call
+// Start before serving connections.
+func NewEngine(ec EngineConfig) (*Engine, error) {
+	if err := ec.Config.validate(); err != nil {
+		return nil, err
+	}
+	if ec.Shards == 0 {
+		ec.Shards = 8
+	}
+	if ec.Shards < 1 || ec.Shards&(ec.Shards-1) != 0 {
+		return nil, fmt.Errorf("session: Shards must be a power of two, got %d", ec.Shards)
+	}
+	if ec.Workers <= 0 {
+		ec.Workers = 2
+	}
+	if ec.MaxSessions <= 0 {
+		ec.MaxSessions = 1 << 20
+	}
+	if ec.MaxPending <= 0 {
+		ec.MaxPending = 1024
+	}
+	der, err := x509.MarshalPKIXPublicKey(&ec.Key.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("session: marshal own key: %w", err)
+	}
+	return &Engine{
+		cfg:       ec.Config,
+		table:     newTable(ec.Shards, ec.MaxSessions, ec.MaxPending, ec.Seed, ec.Nonce),
+		keys:      NewKeyCache(),
+		ownDER:    der,
+		work:      make(chan *shard, ec.Shards),
+		stop:      make(chan struct{}),
+		workers:   ec.Workers,
+		stopwatch: ec.Stopwatch,
+		onSettle:  ec.OnSettle,
+	}, nil
+}
+
+// Start launches the crypto worker pool.
+func (e *Engine) Start() {
+	for i := 0; i < e.workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for {
+				select {
+				case <-e.stop:
+					return
+				case sh := <-e.work:
+					e.drain(sh)
+				}
+			}
+		}()
+	}
+}
+
+// Stop rejects new sessions, stops the workers and waits for them.
+// Connections still being served keep their reader/writer goroutines
+// until the caller closes them; queued work is abandoned.
+func (e *Engine) Stop() {
+	if e.stopped.CompareAndSwap(false, true) {
+		close(e.stop)
+	}
+	e.wg.Wait()
+}
+
+// PeakActive reports the high-water mark of concurrently resident
+// sessions since the engine started.
+func (e *Engine) PeakActive() int64 { return e.peakActive.Load() }
+
+// KeyCacheStats reports verified-key cache hit/miss totals.
+func (e *Engine) KeyCacheStats() (hits, misses uint64) { return e.keys.Stats() }
+
+// muxConn is the engine's per-connection state: the peer's verified
+// key, the outbound queue its single writer goroutine drains, and the
+// reader-goroutine-local session index used for teardown.
+type muxConn struct {
+	id      uint64
+	peerKey *rsa.PublicKey
+	out     *outQueue
+	// sessions indexes this conn's sessions by sid. Only the reader
+	// goroutine touches it (dispatch inserts, teardown sweeps after
+	// the read loop exits), so it needs no lock. Finished sessions
+	// linger until teardown; their state CAS makes the sweep a no-op.
+	sessions map[uint64]*session
+}
+
+func (c *muxConn) sendReject(sid uint64, code byte, detail string) {
+	out := bufPool.Get().(*[]byte)
+	*out = AppendMux((*out)[:0], TypeReject, sid, nil)
+	*out = append(*out, code)
+	*out = append(*out, detail...)
+	c.out.push(out)
+}
+
+// ServeConn runs one mux connection to completion: hello is the
+// already-read first frame (the caller sniffed it with IsHello to
+// route between mux and legacy service). ServeConn blocks until the
+// peer hangs up or breaks framing, and returns with no goroutines
+// left behind.
+func (e *Engine) ServeConn(conn io.ReadWriter, hello []byte) error {
+	if e.stopped.Load() {
+		return ErrEngineStopped
+	}
+	der, ok := IsHello(hello)
+	if !ok {
+		return fmt.Errorf("%w: not a mux hello", ErrMuxFrame)
+	}
+	peerKey, hit, err := e.keys.Parse(der)
+	if err != nil {
+		return err
+	}
+	if hit {
+		Metrics.KeyCacheHits.Inc()
+	} else {
+		Metrics.KeyCacheMisses.Inc()
+	}
+	// Key exchange completes with our PKIX DER; it happens once per
+	// connection, not once per session.
+	if err := protocol.WriteFrame(conn, e.ownDER); err != nil {
+		return fmt.Errorf("session: write key frame: %w", err)
+	}
+
+	c := &muxConn{
+		id:       e.connID.Add(1),
+		peerKey:  peerKey,
+		out:      newOutQueue(),
+		sessions: make(map[uint64]*session),
+	}
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		c.writeLoop(conn)
+	}()
+
+	fr := protocol.NewFrameReader(conn)
+	var readErr error
+	for {
+		frame, err := fr.ReadFrame()
+		if err != nil {
+			if err != io.EOF {
+				readErr = err
+			}
+			break
+		}
+		typ, sid, payload, err := DecodeMux(frame)
+		if err != nil {
+			// Framing is suspect; drop the whole connection.
+			readErr = err
+			break
+		}
+		switch typ {
+		case TypeData:
+			e.dispatch(c, sid, payload)
+		case TypeReject:
+			// Client-side abort of one session.
+			if s := c.sessions[sid]; s != nil {
+				e.failSession(s, RejectFailed, nil)
+			}
+		case TypeDone:
+			// Servers never expect acks; ignore.
+		}
+	}
+
+	// Teardown: fail whatever is still resident for this conn, then
+	// let the writer flush and exit. Workers may be settling these
+	// sessions concurrently; the per-session state CAS arbitrates.
+	for _, s := range c.sessions {
+		e.failSession(s, RejectShutdown, nil)
+	}
+	c.out.close()
+	<-writerDone
+	return readErr
+}
+
+// writeLoop is the connection's single writer: it batches queued
+// frames through one bufio.Writer and flushes only when the queue
+// momentarily empties, so a burst of worker output coalesces into few
+// syscalls. Exits when the queue closes (conn teardown) or a write
+// fails (peer gone — the queue goes dead and pushes become drops,
+// which is what keeps slow/dead conns from wedging crypto workers).
+func (c *muxConn) writeLoop(w io.Writer) {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	var batch []*[]byte
+	for {
+		var ok bool
+		batch, ok = c.out.popAll(batch[:0])
+		if !ok {
+			_ = bw.Flush() // best-effort final flush on a closing conn
+			return
+		}
+		for i, bp := range batch {
+			if err := protocol.WriteFrame(bw, *bp); err != nil {
+				for _, rest := range batch[i:] {
+					recycle(rest)
+				}
+				c.out.markDead()
+				return
+			}
+			recycle(bp)
+			batch[i] = nil
+		}
+		if c.out.empty() {
+			if err := bw.Flush(); err != nil {
+				c.out.markDead()
+				return
+			}
+		}
+	}
+}
+
+// outQueue is an unbounded multi-producer single-consumer queue of
+// pooled frame buffers. Unbounded is deliberate: producers are crypto
+// workers that must never block on a slow connection; the bound on
+// total outstanding output is the admission-controlled session count.
+type outQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*[]byte
+	closed bool // conn tearing down: drain, then writer exits
+	dead   bool // writer gone: pushes become drops
+}
+
+func newOutQueue() *outQueue {
+	q := &outQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a pooled buffer, recycling it immediately when the
+// writer is gone.
+func (q *outQueue) push(bp *[]byte) {
+	q.mu.Lock()
+	if q.closed || q.dead {
+		q.mu.Unlock()
+		recycle(bp)
+		return
+	}
+	q.items = append(q.items, bp)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// popAll blocks for the next batch; ok=false means closed-and-drained
+// or dead.
+func (q *outQueue) popAll(batch []*[]byte) ([]*[]byte, bool) {
+	q.mu.Lock()
+	for len(q.items) == 0 && !q.closed && !q.dead {
+		q.cond.Wait()
+	}
+	if q.dead || len(q.items) == 0 {
+		q.mu.Unlock()
+		return batch, false
+	}
+	batch = append(batch, q.items...)
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.mu.Unlock()
+	return batch, true
+}
+
+func (q *outQueue) empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) == 0
+}
+
+// close stops accepting pushes; the writer drains what is queued and
+// exits.
+func (q *outQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// markDead drops the backlog and makes future pushes no-ops.
+func (q *outQueue) markDead() {
+	q.mu.Lock()
+	q.dead = true
+	for i, bp := range q.items {
+		recycle(bp)
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

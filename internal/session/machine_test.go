@@ -1,0 +1,244 @@
+package session
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tlc/internal/core"
+	"tlc/internal/poc"
+	"tlc/internal/protocol"
+	"tlc/internal/sim"
+)
+
+var (
+	edgeKeys *poc.KeyPair
+	opKeys   *poc.KeyPair
+	testPlan = poc.Plan{TStart: 0, TEnd: int64(time.Hour), C: 0.5}
+)
+
+func init() {
+	rng := sim.NewRNG(4321)
+	var err error
+	if edgeKeys, err = poc.GenerateKeyPair(poc.DefaultKeyBits, rng.Fork("e")); err != nil {
+		panic(err)
+	}
+	if opKeys, err = poc.GenerateKeyPair(poc.DefaultKeyBits, rng.Fork("o")); err != nil {
+		panic(err)
+	}
+}
+
+func machineConfigs(edgeStrat, opStrat core.Strategy, ev, ov core.View) (edge, op *Config) {
+	edge = &Config{
+		Role: poc.RoleEdge, Plan: testPlan, Key: edgeKeys.Private,
+		Strategy: edgeStrat, View: ev,
+	}
+	op = &Config{
+		Role: poc.RoleOperator, Plan: testPlan, Key: opKeys.Private,
+		Strategy: opStrat, View: ov,
+	}
+	return edge, op
+}
+
+// pump runs two machines against each other in memory, the first
+// initiating, until both settle or a step errors.
+func pump(t *testing.T, init, resp *Machine, envI, envR *Env) error {
+	t.Helper()
+	var toResp, toInit [][]byte
+	clone := func(b []byte) []byte { return append([]byte(nil), b...) }
+	emitI := func(msg []byte) error { toResp = append(toResp, clone(msg)); return nil }
+	emitR := func(msg []byte) error { toInit = append(toInit, clone(msg)); return nil }
+	if err := init.Start(envI, emitI); err != nil {
+		return err
+	}
+	for steps := 0; len(toResp) > 0 || len(toInit) > 0; steps++ {
+		if steps > 4*core.DefaultMaxRounds {
+			t.Fatal("machines did not converge")
+		}
+		if len(toResp) > 0 {
+			msg := toResp[0]
+			toResp = toResp[1:]
+			if _, err := resp.Handle(msg, envR, emitR); err != nil {
+				return err
+			}
+		}
+		if len(toInit) > 0 {
+			msg := toInit[0]
+			toInit = toInit[1:]
+			if _, err := init.Handle(msg, envI, emitI); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func TestMachinePairMatchesProtocolRun(t *testing.T) {
+	// The machine is protocol.Party.run under a different execution
+	// model; for deterministic strategies the settled X must be
+	// identical to the goroutine-per-conn path.
+	cases := []struct {
+		name     string
+		edge, op core.Strategy
+		ev, ov   core.View
+	}{
+		{"optimal", core.OptimalStrategy{}, core.OptimalStrategy{}, core.View{Sent: 1000, Received: 900}, core.View{Sent: 1000, Received: 900}},
+		{"honest", core.HonestStrategy{}, core.HonestStrategy{}, core.View{Sent: 500, Received: 480}, core.View{Sent: 500, Received: 480}},
+		{"asym-views", core.OptimalStrategy{}, core.OptimalStrategy{}, core.View{Sent: 1200, Received: 1000}, core.View{Sent: 1100, Received: 1050}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Reference outcome over the legacy path. A negotiation
+			// that fails there (e.g. irreconcilable views exhausting
+			// the round cap) must fail identically in the machine.
+			edgeP := &protocol.Party{
+				Role: poc.RoleEdge, Plan: testPlan, Keys: edgeKeys, PeerKey: opKeys.Public,
+				Strategy: tc.edge, View: tc.ev, RNG: sim.NewRNG(11),
+			}
+			opP := &protocol.Party{
+				Role: poc.RoleOperator, Plan: testPlan, Keys: opKeys, PeerKey: edgeKeys.Public,
+				Strategy: tc.op, View: tc.ov, RNG: sim.NewRNG(12),
+			}
+			re, _, refErr := protocol.RunPair(edgeP, opP)
+
+			ec, oc := machineConfigs(tc.edge, tc.op, tc.ev, tc.ov)
+			var em, om Machine
+			em.Init(ec, opKeys.Public)
+			om.Init(oc, edgeKeys.Public)
+			envE := &Env{RNG: sim.NewRNG(11), Nonce: sim.NewRNG(21)}
+			envO := &Env{RNG: sim.NewRNG(12), Nonce: sim.NewRNG(22)}
+			mErr := pump(t, &em, &om, envE, envO)
+
+			if refErr != nil {
+				if !errors.Is(mErr, protocol.ErrNoConvergence) || !errors.Is(refErr, protocol.ErrNoConvergence) {
+					t.Fatalf("errors diverge: machine %v, protocol %v", mErr, refErr)
+				}
+				return
+			}
+			if mErr != nil {
+				t.Fatal(mErr)
+			}
+			if !em.Done() || !om.Done() {
+				t.Fatalf("done = %v/%v, want settled", em.Done(), om.Done())
+			}
+			if em.X() != om.X() {
+				t.Fatalf("split brain: edge X=%d op X=%d", em.X(), om.X())
+			}
+			if em.X() != re.X {
+				t.Fatalf("machine X=%d, protocol X=%d", em.X(), re.X)
+			}
+			if em.Finisher() == om.Finisher() {
+				t.Fatalf("finisher = %v/%v, want exactly one", em.Finisher(), om.Finisher())
+			}
+		})
+	}
+}
+
+func TestMachineRejectsTamperedMessages(t *testing.T) {
+	ec, oc := machineConfigs(core.OptimalStrategy{}, core.OptimalStrategy{},
+		core.View{Sent: 1000, Received: 900}, core.View{Sent: 1000, Received: 900})
+	var em, om Machine
+	em.Init(ec, opKeys.Public)
+	om.Init(oc, edgeKeys.Public)
+	envE := &Env{RNG: sim.NewRNG(1), Nonce: sim.NewRNG(2)}
+	envO := &Env{RNG: sim.NewRNG(3), Nonce: sim.NewRNG(4)}
+
+	var opening []byte
+	if err := em.Start(envE, func(msg []byte) error {
+		opening = append([]byte(nil), msg...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A flipped signature bit must surface as a peer-validation error,
+	// not an accepted claim.
+	tampered := append([]byte(nil), opening...)
+	tampered[len(tampered)-1] ^= 0xff
+	if _, err := om.Handle(tampered, envO, discard); !errors.Is(err, protocol.ErrBadPeer) {
+		t.Fatalf("tampered CDR: err = %v, want ErrBadPeer", err)
+	}
+
+	// Unknown message kinds and truncation are bad messages.
+	var fresh Machine
+	fresh.Init(oc, edgeKeys.Public)
+	if _, err := fresh.Handle([]byte{42, 1, 2}, envO, discard); !errors.Is(err, protocol.ErrBadMessage) {
+		t.Fatalf("unknown kind: err = %v, want ErrBadMessage", err)
+	}
+	if _, err := fresh.Handle(nil, envO, discard); !errors.Is(err, protocol.ErrBadMessage) {
+		t.Fatalf("empty message: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestMachineRejectsStalePoC(t *testing.T) {
+	// Settle one negotiation, then replay its PoC into a second
+	// exchange: the replay embeds a CDA the new session never sent.
+	ec, oc := machineConfigs(core.OptimalStrategy{}, core.OptimalStrategy{},
+		core.View{Sent: 1000, Received: 900}, core.View{Sent: 1000, Received: 900})
+
+	var proof []byte
+	var em1, om1 Machine
+	em1.Init(ec, opKeys.Public)
+	om1.Init(oc, edgeKeys.Public)
+	envE := &Env{RNG: sim.NewRNG(1), Nonce: sim.NewRNG(2)}
+	envO := &Env{RNG: sim.NewRNG(3), Nonce: sim.NewRNG(4)}
+	var toOp [][]byte
+	if err := em1.Start(envE, func(msg []byte) error {
+		toOp = append(toOp, append([]byte(nil), msg...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var toEdge [][]byte
+	for len(toOp) > 0 || len(toEdge) > 0 {
+		if len(toOp) > 0 {
+			msg := toOp[0]
+			toOp = toOp[1:]
+			if _, err := om1.Handle(msg, envO, func(m []byte) error {
+				toEdge = append(toEdge, append([]byte(nil), m...))
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(toEdge) > 0 {
+			msg := toEdge[0]
+			toEdge = toEdge[1:]
+			if msg[0] == 3 {
+				proof = msg // capture the operator-bound PoC... or edge-bound
+			}
+			if _, err := em1.Handle(msg, envE, func(m []byte) error {
+				if m[0] == 3 {
+					proof = m
+				}
+				toOp = append(toOp, append([]byte(nil), m...))
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if proof == nil {
+		t.Fatal("no PoC captured")
+	}
+
+	// Second exchange, same parties: advance the operator to the
+	// point where it has sent a CDA, then replay the old proof.
+	var em2, om2 Machine
+	em2.Init(ec, opKeys.Public)
+	om2.Init(oc, edgeKeys.Public)
+	var opening2 []byte
+	if err := em2.Start(envE, func(msg []byte) error {
+		opening2 = append([]byte(nil), msg...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om2.Handle(opening2, envO, discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om2.Handle(proof, envO, discard); !errors.Is(err, protocol.ErrStaleProof) {
+		t.Fatalf("replayed PoC: err = %v, want ErrStaleProof", err)
+	}
+}
+
+func discard([]byte) error { return nil }

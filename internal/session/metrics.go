@@ -1,0 +1,53 @@
+package session
+
+import "tlc/internal/metrics"
+
+// Metrics are the session-engine instruments, observed inline on the
+// live path (same discipline as protocol.Metrics: single atomic ops on
+// pre-registered instruments, no locks, no clock reads). The engine
+// additionally feeds protocol.Metrics — a negotiation settled by the
+// sharded engine counts exactly like one settled by the legacy
+// goroutine-per-conn path, so dashboards don't care which path served
+// it.
+var Metrics = struct {
+	// Active is the sessions currently resident in the shard tables
+	// (opened, not yet settled/failed/rejected).
+	Active *metrics.Gauge
+	// Opened/Settled/Failed count session outcomes; Rejected counts
+	// admission-control refusals (shard table or pending queue full),
+	// which are not Failed — the work was never admitted.
+	Opened   *metrics.Counter
+	Settled  *metrics.Counter
+	Failed   *metrics.Counter
+	Rejected *metrics.Counter
+	// Backpressure counts frames dropped because an already-admitted
+	// session's shard queue was full; the session is failed rather
+	// than the queue grown.
+	Backpressure *metrics.Counter
+	// BatchSize is the distribution of per-shard batch sizes drained
+	// by crypto workers; mass above 1 is scheduling amortisation won.
+	BatchSize *metrics.Histogram
+	// KeyCacheHits/Misses count verified-key cache lookups.
+	KeyCacheHits   *metrics.Counter
+	KeyCacheMisses *metrics.Counter
+}{
+	Active: metrics.Default.Gauge("sessions_active",
+		"charging sessions currently resident in the engine's shard tables"),
+	Opened: metrics.Default.Counter("sessions_opened_total",
+		"charging sessions admitted into the engine"),
+	Settled: metrics.Default.Counter("sessions_settled_total",
+		"charging sessions settled with a doubly signed PoC"),
+	Failed: metrics.Default.Counter("sessions_failed_total",
+		"charging sessions torn down by validation or transport errors"),
+	Rejected: metrics.Default.Counter("sessions_rejected_total",
+		"sessions refused by admission control (shard table or queue full)"),
+	Backpressure: metrics.Default.Counter("session_backpressure_total",
+		"frames dropped because an admitted session's shard queue was full"),
+	BatchSize: metrics.Default.Histogram("session_crypto_batch_size",
+		"sessions advanced per crypto-worker shard drain",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+	KeyCacheHits: metrics.Default.Counter("session_key_cache_hits_total",
+		"peer key parses served from the verified-key cache"),
+	KeyCacheMisses: metrics.Default.Counter("session_key_cache_misses_total",
+		"peer key parses that fell through to x509 parsing"),
+}

@@ -110,6 +110,11 @@ func GenerateKeyPairBits(bits int) (*KeyPair, error) {
 // verifiers.
 func (k *KeyPair) Public() *rsa.PublicKey { return k.inner.Public }
 
+// Signer returns the private half for components that sign records
+// directly, such as cmd/tlcd's session engine. Callers must treat it
+// as read-only.
+func (k *KeyPair) Signer() *rsa.PrivateKey { return k.inner.Private }
+
 // Plan is the data-plan fragment both parties agreed on at setup: the
 // charging cycle T = [Start, End) and the lost-data weight c ∈ [0,1]
 // (c=0 bills only received data; c=1 bills all sent data).

@@ -22,17 +22,26 @@
 #   race       — full test suite under the race detector
 #   operator   — the live tlcd operator: concurrent connections
 #                (stalled-client regression), a real HTTP scrape of
-#                /metrics and /healthz, and signal-driven drain
-#   allocs     — testing.AllocsPerRun guards for the event-engine and
-#                metrics-observation hot paths; these skip themselves
-#                under -race (its instrumentation perturbs counts), so
-#                they need this separate non-race pass
+#                /metrics and /healthz, signal-driven drain, and the
+#                mux/legacy first-frame routing
+#   tlcdscale  — the sharded session engine: admission-control overload
+#                regression under the race detector (reject, never
+#                deadlock or leak), a ~2k-session loadgen smoke under
+#                -race asserting zero rejections below the admission
+#                cap, and schema + invariant validation of the
+#                checked-in BENCH_tlcd_scale.json
+#   allocs     — testing.AllocsPerRun guards for the event-engine,
+#                metrics-observation and frame-reader hot paths; these
+#                skip themselves under -race (its instrumentation
+#                perturbs counts), so they need this separate non-race
+#                pass
 #   bench      — every benchmark compiles and survives one iteration,
 #                plus a quick sharded city run at -shards 2 through
 #                the tlcbench CLI (exercises the -shards plumbing)
-#   fuzz       — short coverage-guided smoke on the two adversarial
-#                surfaces: the protocol framing decoder and the PoC
-#                verifier (forged proofs must never verify)
+#   fuzz       — short coverage-guided smoke on the adversarial
+#                surfaces: the protocol framing decoder, the mux frame
+#                decoder and the PoC verifier (forged proofs must
+#                never verify)
 set -eu
 cd "$(dirname "$0")"
 
@@ -41,10 +50,10 @@ cd "$(dirname "$0")"
 stage() {
 	_name=$1
 	shift
-	printf '==> %-8s %s\n' "$_name" "$*"
+	printf '==> %-9s %s\n' "$_name" "$*"
 	_t0=$(date +%s)
 	"$@"
-	printf '<== %-8s ok (%ss)\n' "$_name" "$(($(date +%s) - _t0))"
+	printf '<== %-9s ok (%ss)\n' "$_name" "$(($(date +%s) - _t0))"
 }
 
 city_smoke() {
@@ -69,8 +78,12 @@ stage shardparity go test -run ShardParity -race ./internal/sim ./internal/netem
 stage chaos go test -run Chaos -race ./internal/experiment
 stage race go test -race ./...
 stage operator go test -run Operator -race -count=1 ./cmd/tlcd
-stage allocs go test -run ZeroAlloc ./internal/sim ./internal/netem ./internal/metrics
+stage tlcdscale go test -run EngineOverload -race -count=1 ./internal/session
+stage tlcdscale go run -race ./cmd/tlcbench -lg-smoke -lg-sessions 2000
+stage tlcdscale go run ./cmd/tlcbench -lg-check BENCH_tlcd_scale.json
+stage allocs go test -run ZeroAlloc ./internal/sim ./internal/netem ./internal/metrics ./internal/protocol
 stage bench go test -run '^$' -bench . -benchtime 1x ./...
 stage bench city_smoke
 stage fuzz go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/protocol
+stage fuzz go test -run '^$' -fuzz '^FuzzDecodeMux$' -fuzztime 10s ./internal/session
 stage fuzz go test -run '^$' -fuzz '^FuzzPoCVerify$' -fuzztime 10s ./internal/poc
