@@ -1,0 +1,186 @@
+// Settlement-ledger micro-bench: CDR appends/sec through the real
+// on-disk (DirFS, fsync) path at group-commit windows {1, 16, 256},
+// archived as BENCH_ledger.json. The window sweep is the durability
+// cost curve: sync1 pays one fsync per record, sync256 amortizes it
+// across the batch.
+//
+//	tlcbench -ledger-bench -ledger-json BENCH_ledger.json
+//	tlcbench -ledger-check BENCH_ledger.json   # schema + invariant check
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tlc/internal/ledger"
+)
+
+var (
+	flagLedgerBench   = flag.Bool("ledger-bench", false, "run the settlement-ledger append micro-bench instead of experiments")
+	flagLedgerAppends = flag.Int("ledger-appends", 4096, "ledger-bench: records appended per group-commit setting")
+	flagLedgerJSON    = flag.String("ledger-json", "", "ledger-bench: write the JSON report here ('-' for stdout)")
+	flagLedgerCheck   = flag.String("ledger-check", "", "validate a ledger-bench report (3 sync settings, positive rates, batching not slower) and exit")
+)
+
+// ledgerSyncSettings is the fixed group-commit sweep; -ledger-check
+// requires exactly these.
+var ledgerSyncSettings = []int{1, 16, 256}
+
+// ledgerBenchReport is the -ledger-bench JSON document checked in as
+// BENCH_ledger.json.
+type ledgerBenchReport struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Note       string             `json:"note,omitempty"`
+	Entries    []ledgerBenchEntry `json:"entries"`
+	TotalSec   float64            `json:"total_sec"`
+}
+
+// ledgerBenchEntry is one group-commit setting's outcome.
+type ledgerBenchEntry struct {
+	SyncEvery     int     `json:"sync_every"`
+	Appends       int     `json:"appends"`
+	WallSec       float64 `json:"wall_sec"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	// ReplayedOK confirms the directory replayed to exactly Appends
+	// records after Close — a throughput number from a ledger that
+	// loses records would be meaningless.
+	ReplayedOK bool `json:"replayed_ok"`
+}
+
+// ledgerBenchOne appends n CDR records at the given group-commit
+// window into a fresh on-disk ledger, closes it, and verifies the
+// replay count.
+func ledgerBenchOne(syncEvery, n int) (ledgerBenchEntry, error) {
+	entry := ledgerBenchEntry{SyncEvery: syncEvery, Appends: n}
+	dir, err := os.MkdirTemp("", "tlc-ledger-bench")
+	if err != nil {
+		return entry, err
+	}
+	defer os.RemoveAll(dir) //tlcvet:allow errdiscard — temp-dir cleanup
+	led, err := ledger.Open(ledger.Options{
+		Dir: dir, FS: ledger.DirFS{}, SyncEvery: syncEvery,
+	}, nil)
+	if err != nil {
+		return entry, err
+	}
+	rec := ledger.Record{
+		Kind:       ledger.KindCDR,
+		Cycle:      1,
+		Subscriber: "460-00-1391000000001",
+		ChargingID: 7,
+		TimeUsage:  1,
+		UL:         12_000,
+		DL:         48_000,
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		rec.Seq = uint32(i)
+		rec.At = int64(i)
+		if err := led.Append(&rec); err != nil {
+			return entry, fmt.Errorf("append %d: %w", i, err)
+		}
+	}
+	if err := led.Close(); err != nil {
+		return entry, err
+	}
+	entry.WallSec = time.Since(start).Seconds()
+	if entry.WallSec > 0 {
+		entry.AppendsPerSec = float64(n) / entry.WallSec
+	}
+	replayed := 0
+	err = ledger.Replay(ledger.DirFS{}, dir, func(r *ledger.Record) error {
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return entry, fmt.Errorf("replay: %w", err)
+	}
+	if replayed != n {
+		return entry, fmt.Errorf("replayed %d of %d appended records", replayed, n)
+	}
+	entry.ReplayedOK = true
+	return entry, nil
+}
+
+func runLedgerBench() {
+	n := *flagLedgerAppends
+	if n <= 0 {
+		fatalf("ledger-bench: -ledger-appends must be positive")
+	}
+	report := ledgerBenchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note:       "on-disk DirFS append path, single writer",
+	}
+	suiteStart := time.Now()
+	for _, syncEvery := range ledgerSyncSettings {
+		entry, err := ledgerBenchOne(syncEvery, n)
+		if err != nil {
+			fatalf("ledger-bench: sync%d: %v", syncEvery, err)
+		}
+		fmt.Printf("== ledger sync%-4d %8d appends  %10.0f appends/sec (%.2fs)\n",
+			entry.SyncEvery, entry.Appends, entry.AppendsPerSec, entry.WallSec)
+		report.Entries = append(report.Entries, entry)
+	}
+	report.TotalSec = time.Since(suiteStart).Seconds()
+
+	if *flagLedgerJSON != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("ledger-bench: marshal report: %v", err)
+		}
+		data = append(data, '\n')
+		if *flagLedgerJSON == "-" {
+			if _, err := os.Stdout.Write(data); err != nil {
+				fatalf("ledger-bench: write report: %v", err)
+			}
+		} else if err := os.WriteFile(*flagLedgerJSON, data, 0o644); err != nil {
+			fatalf("ledger-bench: write %s: %v", *flagLedgerJSON, err)
+		}
+	}
+}
+
+// ledgerCheck validates a checked-in ledger-bench report: all three
+// group-commit settings present, every run replayed cleanly at a
+// positive rate, and batching at 256 no slower than fsync-per-append
+// (a generous 0.9 factor absorbs host noise; the point is that group
+// commit must never cost throughput). verify.sh runs it so a stale or
+// hand-edited BENCH_ledger.json fails loudly.
+func ledgerCheck(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("ledger-check: %v", err)
+	}
+	var rep ledgerBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatalf("ledger-check: %s: %v", path, err)
+	}
+	bySync := make(map[int]ledgerBenchEntry, len(rep.Entries))
+	for _, e := range rep.Entries {
+		if e.Appends <= 0 || e.AppendsPerSec <= 0 {
+			fatalf("ledger-check: %s: sync%d malformed (appends=%d rate=%g)",
+				path, e.SyncEvery, e.Appends, e.AppendsPerSec)
+		}
+		if !e.ReplayedOK {
+			fatalf("ledger-check: %s: sync%d run did not replay cleanly", path, e.SyncEvery)
+		}
+		bySync[e.SyncEvery] = e
+	}
+	if len(rep.Entries) != len(ledgerSyncSettings) {
+		fatalf("ledger-check: %s: %d entries, want %d", path, len(rep.Entries), len(ledgerSyncSettings))
+	}
+	for _, s := range ledgerSyncSettings {
+		if _, ok := bySync[s]; !ok {
+			fatalf("ledger-check: %s: missing sync%d entry", path, s)
+		}
+	}
+	if r1, r256 := bySync[1].AppendsPerSec, bySync[256].AppendsPerSec; r256 < 0.9*r1 {
+		fatalf("ledger-check: %s: sync256 at %.0f appends/sec is slower than sync1 at %.0f — group commit broken",
+			path, r256, r1)
+	}
+	fmt.Printf("ledger-check: %s ok (sync1 %.0f, sync16 %.0f, sync256 %.0f appends/sec)\n",
+		path, bySync[1].AppendsPerSec, bySync[16].AppendsPerSec, bySync[256].AppendsPerSec)
+}

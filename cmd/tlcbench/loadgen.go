@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"tlc/internal/core"
+	"tlc/internal/ledger"
 	"tlc/internal/poc"
 	"tlc/internal/protocol"
 	"tlc/internal/session"
@@ -43,6 +44,7 @@ var (
 	flagLGBaseline = flag.Int("lg-baseline", 0, "loadgen: baseline (conn-per-session) session count; 0 = lg-sessions/4, capped at 5000")
 	flagLGJSON     = flag.String("lg-json", "", "loadgen: write the JSON report here ('-' for stdout)")
 	flagLGCheck    = flag.String("lg-check", "", "validate a loadgen report (schema + charging/overload invariants) and exit")
+	flagLGLedger   = flag.Bool("lg-ledger", false, "loadgen: add mux runs with the durable settlement ledger attached (throughput with durability on vs off)")
 )
 
 // lgReport is the -loadgen JSON document checked in as
@@ -86,6 +88,11 @@ type lgRun struct {
 	P99Ms          float64 `json:"p99_ms"`
 	KeyCacheHits   uint64  `json:"key_cache_hits,omitempty"`
 	KeyCacheMisses uint64  `json:"key_cache_misses,omitempty"`
+	// LedgerSyncEvery/LedgerRecords appear on runs with the durable
+	// settlement ledger attached: the group-commit window and how many
+	// proofs the ledger held after the run (must equal Settled).
+	LedgerSyncEvery int `json:"ledger_sync_every,omitempty"`
+	LedgerRecords   int `json:"ledger_records,omitempty"`
 }
 
 // lgParties is the fixed negotiation fixture: deterministic keys, a
@@ -145,6 +152,10 @@ type lgMuxSpec struct {
 	sessions, conns, shards, wrk    int
 	maxSessions, maxPending, forged int
 	openFirst                       bool
+	// ledgerSync > 0 attaches a real on-disk settlement ledger with
+	// that group-commit window; every settled proof is appended and
+	// the count is verified by replay after the run.
+	ledgerSync int
 }
 
 // lgMuxRun serves one fresh engine on loopback and drives the mux
@@ -153,12 +164,38 @@ func lgMuxRun(p *lgParties, spec lgMuxSpec) (lgRun, error) {
 	fail := func(err error) (lgRun, error) {
 		return lgRun{}, fmt.Errorf("%s: %w", spec.name, err)
 	}
-	eng, err := session.NewEngine(session.EngineConfig{
+	var led *ledger.Ledger
+	var ledDir string
+	if spec.ledgerSync > 0 {
+		dir, err := os.MkdirTemp("", "tlc-lg-ledger")
+		if err != nil {
+			return fail(err)
+		}
+		ledDir = dir
+		led, err = ledger.Open(ledger.Options{
+			Dir: dir, FS: ledger.DirFS{}, SyncEvery: spec.ledgerSync,
+		}, nil)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	ec := session.EngineConfig{
 		Config: p.engineConfig(),
 		Shards: spec.shards, Workers: spec.wrk,
 		MaxSessions: spec.maxSessions, MaxPending: spec.maxPending,
 		Seed: 99,
-	})
+	}
+	if led != nil {
+		ec.Recorder = func(pr session.ProofRecord) {
+			rec := ledger.Record{
+				Kind: ledger.KindPoC, Cycle: 1,
+				Subscriber: pr.PeerFP,
+				X:          pr.X, Rounds: uint32(pr.Rounds), Proof: pr.Proof,
+			}
+			_ = led.Append(&rec) // bench harness; the replay count below catches losses
+		}
+	}
+	eng, err := session.NewEngine(ec)
 	if err != nil {
 		return fail(err)
 	}
@@ -223,6 +260,22 @@ func lgMuxRun(p *lgParties, spec lgMuxSpec) (lgRun, error) {
 	_ = ln.Close()
 	wg.Wait()
 	eng.Stop()
+	ledgerRecords := 0
+	if led != nil {
+		if cerr := led.Close(); cerr != nil {
+			return fail(fmt.Errorf("ledger close: %w", cerr))
+		}
+		rerr := ledger.Replay(ledger.DirFS{}, ledDir, func(rec *ledger.Record) error {
+			if rec.Kind == ledger.KindPoC {
+				ledgerRecords++
+			}
+			return nil
+		})
+		if rerr != nil {
+			return fail(fmt.Errorf("ledger replay: %w", rerr))
+		}
+		_ = os.RemoveAll(ledDir)
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -247,6 +300,7 @@ func lgMuxRun(p *lgParties, spec lgMuxSpec) (lgRun, error) {
 		P50Ms:          lgQuantileMs(res.Latencies, 0.50),
 		P99Ms:          lgQuantileMs(res.Latencies, 0.99),
 		KeyCacheHits:   hits, KeyCacheMisses: misses,
+		LedgerSyncEvery: spec.ledgerSync, LedgerRecords: ledgerRecords,
 	}
 	if s := wall.Seconds(); s > 0 {
 		run.SessionsPerSec = float64(res.Settled) / s
@@ -444,6 +498,27 @@ func runLoadgen() {
 			maxPending: sessions,
 		}))
 		mustZeroRejected(run)
+	}
+
+	if *flagLGLedger {
+		// Durability on vs off: the same mux load with every settled
+		// proof appended to a real on-disk ledger, at a tight and a
+		// relaxed group-commit window. The replayed record count must
+		// equal the settled count — durability that silently drops
+		// settlements would be worse than none.
+		for _, syncEvery := range []int{1, 16} {
+			run := addRun(lgMuxRun(p, lgMuxSpec{
+				name:     "mux_ledger_sync" + strconv.Itoa(syncEvery),
+				sessions: sessions, conns: *flagLGConns,
+				shards: shardCounts[len(shardCounts)-1], wrk: *flagLGWorkers,
+				maxPending: sessions, ledgerSync: syncEvery,
+			}))
+			mustZeroRejected(run)
+			if run.LedgerRecords != run.Settled {
+				fatalf("loadgen: %s ledger holds %d proofs, want %d settled",
+					run.Name, run.LedgerRecords, run.Settled)
+			}
+		}
 	}
 
 	if !*flagLGSmoke {

@@ -120,6 +120,14 @@ func main() {
 		runLoadgen()
 		return
 	}
+	if *flagLedgerCheck != "" {
+		ledgerCheck(*flagLedgerCheck)
+		return
+	}
+	if *flagLedgerBench {
+		runLedgerBench()
+		return
+	}
 
 	opt := experiment.Options{Duration: *duration, Seeds: *seeds}
 	if *quick {

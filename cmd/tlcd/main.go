@@ -31,7 +31,9 @@ package main
 
 import (
 	"crypto/rsa"
+	"crypto/sha256"
 	"crypto/x509"
+	"encoding/hex"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -44,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +56,7 @@ import (
 	"tlc"
 	"tlc/internal/core"
 	"tlc/internal/faults"
+	"tlc/internal/ledger"
 	"tlc/internal/metrics"
 	"tlc/internal/poc"
 	"tlc/internal/protocol"
@@ -86,8 +90,21 @@ func main() {
 		pending  = flag.Int("session-pending", 1024, "operator: queued frames per shard before overload rejection")
 		muxTO    = flag.Duration("mux-conn-timeout", 15*time.Minute, "deadline for multiplexed connections (carry many sessions, so much longer than -conn-timeout)")
 		verbose  = flag.Bool("v", false, "log every settlement instead of a 1-in-1024 sample")
+		ledDir   = flag.String("ledger-dir", "", "operator: durable settlement ledger directory (empty = no ledger)")
+		ledSync  = flag.Int("ledger-fsync", 16, "operator: ledger group-commit window (fsync every N appends; 1 = every append)")
+		auditQ   = flag.String("audit", "", "audit query over -ledger-dir, e.g. subscriber=<fingerprint>,cycle=<id>; prints the report and exits")
 	)
 	flag.Parse()
+
+	if *auditQ != "" {
+		if *ledDir == "" {
+			log.Fatal("-audit requires -ledger-dir")
+		}
+		if err := runAudit(os.Stdout, *ledDir, *auditQ); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var spec *faults.Spec
 	if *faultStr != "" {
@@ -132,6 +149,19 @@ func main() {
 			maxConns: *maxConns, connTimeout: *connTO, drainTimeout: *drainTO,
 			verbose: *verbose, muxTimeout: *muxTO,
 		}
+		if *ledDir != "" {
+			led, err := ledger.Open(ledger.Options{
+				Dir: *ledDir, FS: ledger.DirFS{}, SyncEvery: *ledSync,
+			}, nil)
+			if err != nil {
+				log.Fatalf("-ledger-dir: %v", err)
+			}
+			// The charging-cycle id is the cycle's start instant; the
+			// same value an auditor derives from the plan.
+			op.led, op.cycle = led, uint64(plan.Start.Unix())
+			log.Printf("settlement ledger at %s (cycle %d, fsync every %d)",
+				*ledDir, op.cycle, *ledSync)
+		}
 		var coreStrat core.Strategy = core.OptimalStrategy{}
 		switch strat {
 		case tlc.Honest:
@@ -153,6 +183,7 @@ func main() {
 			Seed:      time.Now().UnixNano(),
 			Stopwatch: func() float64 { return time.Since(procStart).Seconds() },
 			OnSettle:  op.onSettle,
+			Recorder:  op.recorder(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -236,9 +267,12 @@ func logSettled(verbose bool, x uint64, rounds, proofLen int) {
 // round trip into the protocol latency histogram. Wall-clock reads
 // live here, in cmd/, so internal/ stays tlcvet simtime-clean.
 // peerDER, when non-nil, is the peer's already-read key frame.
+// record, when non-nil, receives the settled proof keyed by the
+// peer-key fingerprint (the operator's durable-ledger hook).
 func settle(conn io.ReadWriter, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
 	usage tlc.Usage, strat tlc.Strategy, initiate bool, proofOut string,
-	verbose bool, peerDER []byte) error {
+	verbose bool, peerDER []byte,
+	record func(peerFP string, x uint64, rounds int, proof []byte)) error {
 	start := time.Now()
 	peerKey, err := exchangeKeys(conn, keys.Public(), peerDER)
 	if err != nil {
@@ -251,6 +285,14 @@ func settle(conn io.ReadWriter, role tlc.Role, plan tlc.Plan, keys *tlc.KeyPair,
 	}
 	protocol.Metrics.NegotiateSeconds.Observe(time.Since(start).Seconds())
 	logSettled(verbose, receipt.X, receipt.Rounds, len(receipt.Proof))
+	if record != nil {
+		der, err := x509.MarshalPKIXPublicKey(peerKey)
+		if err != nil {
+			return fmt.Errorf("fingerprint peer key: %w", err)
+		}
+		fp := sha256.Sum256(der)
+		record(hex.EncodeToString(fp[:]), receipt.X, receipt.Rounds, receipt.Proof)
+	}
 	if proofOut != "" {
 		if err := os.WriteFile(proofOut, receipt.Proof, 0o644); err != nil {
 			return err
@@ -282,6 +324,13 @@ type operator struct {
 	// the deadline for mux conns, which carry many sessions.
 	engine     *session.Engine
 	muxTimeout time.Duration
+
+	// led, when non-nil, durably records every settlement (mux and
+	// legacy alike) under cycle as the charging-cycle id; ledgerErrs
+	// counts appends the store refused (never fatal to serving).
+	led        *ledger.Ledger
+	cycle      uint64
+	ledgerErrs atomic.Uint64
 
 	ln      net.Listener
 	closing atomic.Bool
@@ -364,6 +413,17 @@ func (o *operator) serveWith(ln, debugLn net.Listener) error {
 	if o.engine != nil {
 		o.engine.Stop()
 	}
+	if o.led != nil {
+		// Flush the group-commit tail so the last settlements are
+		// durable before the process exits; the directory then audits
+		// cleanly with tlcd -audit.
+		if err := o.led.Close(); err != nil {
+			log.Printf("ledger close: %v", err)
+		}
+		if n := o.ledgerErrs.Load(); n > 0 {
+			log.Printf("ledger: %d append(s) failed this run", n)
+		}
+	}
 	if debug != nil {
 		if err := debug.Close(); err != nil {
 			log.Printf("debug server close: %v", err)
@@ -410,6 +470,95 @@ func (o *operator) onSettle(conn, sid, x uint64, rounds int) {
 	}
 }
 
+// recordProof appends one settled negotiation to the ledger; the
+// subscriber identity is the peer-key fingerprint both settlement
+// paths derive from the PKIX DER. Append failures are counted and
+// logged, never fatal — charging keeps serving on a sick disk, the
+// operator just loses durability (and hears about it).
+func (o *operator) recordProof(peerFP string, x uint64, rounds int, proof []byte) {
+	rec := ledger.Record{
+		Kind:       ledger.KindPoC,
+		Cycle:      o.cycle,
+		At:         time.Now().UnixNano(),
+		Subscriber: peerFP,
+		X:          x,
+		Rounds:     uint32(rounds),
+		Proof:      proof,
+	}
+	if err := o.led.Append(&rec); err != nil {
+		if o.ledgerErrs.Add(1) == 1 {
+			log.Printf("ledger append failed (first of possibly many): %v", err)
+		}
+	}
+}
+
+// legacyRecord is recordProof as the legacy settle callback, or nil
+// without a ledger.
+func (o *operator) legacyRecord() func(string, uint64, int, []byte) {
+	if o.led == nil {
+		return nil
+	}
+	return o.recordProof
+}
+
+// recorder adapts recordProof to the session engine's hook, or nil
+// when no ledger is attached (which keeps KeepProof off and the
+// engine's settle path allocation-free).
+func (o *operator) recorder() func(session.ProofRecord) {
+	if o.led == nil {
+		return nil
+	}
+	return func(pr session.ProofRecord) {
+		o.recordProof(pr.PeerFP, pr.X, pr.Rounds, pr.Proof)
+	}
+}
+
+// runAudit answers an offline audit query over a closed (or live —
+// replay is read-only) ledger directory: parse "subscriber=X,cycle=Y",
+// replay, print the report.
+func runAudit(w io.Writer, dir, query string) error {
+	var subscriber string
+	var cycle uint64
+	var haveCycle bool
+	for _, kv := range strings.Split(query, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return fmt.Errorf("-audit: bad term %q (want key=value)", kv)
+		}
+		switch k {
+		case "subscriber":
+			subscriber = v
+		case "cycle":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("-audit: cycle %q: %v", v, err)
+			}
+			cycle, haveCycle = n, true
+		default:
+			return fmt.Errorf("-audit: unknown key %q", k)
+		}
+	}
+	if subscriber == "" || !haveCycle {
+		return fmt.Errorf("-audit: need subscriber=<id>,cycle=<n>, got %q", query)
+	}
+	rep, err := ledger.Audit(ledger.DirFS{}, dir, subscriber, cycle)
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit subscriber=%s cycle=%d\n", rep.Subscriber, rep.Cycle)
+	fmt.Fprintf(&b, "  settled: %v\n", rep.Settled)
+	fmt.Fprintf(&b, "  usage: ul=%d dl=%d volume=%d across %d record(s)\n",
+		rep.UL, rep.DL, rep.Volume(), rep.Records)
+	fmt.Fprintf(&b, "  stored: %d CDR(s), %d PoC(s)\n", len(rep.CDRs), len(rep.PoCs))
+	for i := range rep.PoCs {
+		p := &rep.PoCs[i]
+		fmt.Fprintf(&b, "  poc[%d]: x=%d rounds=%d proof=%dB\n", i, p.X, p.Rounds, len(p.Proof))
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
 // serve routes one accepted connection by its first frame: a TLCMUX1
 // hello hands the whole connection to the session engine, anything
 // else (a bare PKIX key frame) is a legacy single-session negotiation.
@@ -437,7 +586,7 @@ func (o *operator) serve(conn net.Conn) {
 			log.Printf("mux conn %s: %v", conn.RemoteAddr(), err)
 		}
 	} else if err := settle(rw, tlc.Operator, o.plan, o.keys, o.usage, o.strat,
-		true, o.proofOut, o.verbose, first); err != nil {
+		true, o.proofOut, o.verbose, first, o.legacyRecord()); err != nil {
 		log.Printf("negotiation with %s failed: %v", conn.RemoteAddr(), err)
 	}
 	if tr != nil {
@@ -545,7 +694,7 @@ func runEdge(addr string, plan tlc.Plan, keys *tlc.KeyPair, usage tlc.Usage,
 		// A fresh fault stream per attempt, seeded off the attempt
 		// index so replays of the whole retry sequence are identical.
 		rw, tr := wrapFaults(conn, spec, faultSeed+int64(attempt))
-		serr := settle(rw, tlc.Edge, plan, keys, usage, strat, false, proofOut, true, nil)
+		serr := settle(rw, tlc.Edge, plan, keys, usage, strat, false, proofOut, true, nil, nil)
 		if tr != nil {
 			log.Printf("attempt %d fault injection: %s", attempt+1, tr.Summary())
 		}

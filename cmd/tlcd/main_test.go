@@ -1,6 +1,9 @@
 package main
 
 import (
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net"
@@ -12,6 +15,7 @@ import (
 
 	"tlc"
 	"tlc/internal/core"
+	"tlc/internal/ledger"
 	"tlc/internal/metrics"
 	"tlc/internal/poc"
 	"tlc/internal/session"
@@ -68,7 +72,7 @@ func edgeSettle(t *testing.T, addr string, keys *tlc.KeyPair, plan tlc.Plan, usa
 	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
-	return settle(conn, tlc.Edge, plan, keys, usage, tlc.Honest, false, "", true, nil)
+	return settle(conn, tlc.Edge, plan, keys, usage, tlc.Honest, false, "", true, nil, nil)
 }
 
 func scrapeMetric(t *testing.T, debugAddr, series string) (float64, bool) {
@@ -266,6 +270,141 @@ func TestOperatorMuxAndLegacyCoexist(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("operator did not drain and exit")
+	}
+}
+
+// TestOperatorLedgerAudit is the end-to-end durability path: an
+// operator with a real on-disk ledger records settlements from both
+// connection flavours (mux sessions through the engine Recorder,
+// a legacy conn through the settle callback), the shutdown flush
+// closes the ledger, and the -audit query path reads the proofs back
+// from the directory.
+func TestOperatorLedgerAudit(t *testing.T) {
+	opKeys, edgeKeys, plan, usage := testParties(t)
+	dir := t.TempDir()
+	led, err := ledger.Open(ledger.Options{Dir: dir, FS: ledger.DirFS{}, SyncEvery: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := uint64(plan.Start.Unix())
+	op := &operator{
+		plan: plan, keys: opKeys, usage: usage, strat: tlc.Optimal,
+		once: false, maxConns: 4,
+		connTimeout: 30 * time.Second, drainTimeout: 5 * time.Second,
+		muxTimeout: 2 * time.Minute,
+		stop:       make(chan struct{}),
+	}
+	op.led, op.cycle = led, cycle
+	eng, err := session.NewEngine(session.EngineConfig{
+		Config: session.Config{
+			Role:     poc.RoleOperator,
+			Plan:     poc.Plan{TStart: plan.Start.UnixNano(), TEnd: plan.End.UnixNano(), C: plan.C},
+			Key:      opKeys.Signer(),
+			Strategy: core.OptimalStrategy{},
+			View:     core.View{Sent: float64(usage.Sent), Received: float64(usage.Received)},
+		},
+		Shards: 2, Workers: 2, Seed: 42,
+		Recorder: op.recorder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.engine = eng
+	addr, _, exited := startOperator(t, op, false)
+
+	// One legacy settlement plus a batch of mux sessions.
+	if err := edgeSettle(t, addr, edgeKeys, plan, usage); err != nil {
+		t.Fatalf("legacy settle: %v", err)
+	}
+	const sessions = 25
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //tlcvet:allow errdiscard — test cleanup; the assertions, not Close, decide this test
+	if err := c.SetDeadline(time.Now().Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := session.RunClient(session.ClientConfig{
+		Config: session.Config{
+			Role:     poc.RoleEdge,
+			Plan:     poc.Plan{TStart: plan.Start.UnixNano(), TEnd: plan.End.UnixNano(), C: plan.C},
+			Key:      edgeKeys.Signer(),
+			Strategy: core.OptimalStrategy{},
+			View:     core.View{Sent: float64(usage.Sent), Received: float64(usage.Received)},
+		},
+		Sessions: sessions,
+		Conns:    []io.ReadWriter{c},
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Settled != sessions {
+		t.Fatalf("mux settled = %d, want %d", res.Settled, sessions)
+	}
+
+	// Shutdown flushes the group-commit tail and closes the ledger.
+	close(op.stop)
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("operator exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("operator did not drain and exit")
+	}
+	if n := op.ledgerErrs.Load(); n != 0 {
+		t.Fatalf("%d ledger appends failed", n)
+	}
+
+	// Audit the closed directory the way the CLI does; the subscriber
+	// id is the edge key's PKIX fingerprint.
+	pkixDER, err := x509.MarshalPKIXPublicKey(edgeKeys.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(pkixDER)
+	fp := hex.EncodeToString(sum[:])
+
+	rep, err := ledger.Audit(ledger.DirFS{}, dir, fp, cycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.PoCs); got != sessions+1 {
+		t.Fatalf("audit found %d PoCs, want %d (mux + legacy)", got, sessions+1)
+	}
+	for i := range rep.PoCs {
+		rec := &rep.PoCs[i]
+		var proof poc.PoC
+		if err := proof.UnmarshalBinary(rec.Proof); err != nil {
+			t.Fatalf("poc[%d] does not decode: %v", i, err)
+		}
+		if err := poc.VerifyStateless(&proof,
+			poc.Plan{TStart: plan.Start.UnixNano(), TEnd: plan.End.UnixNano(), C: plan.C},
+			edgeKeys.Public(), opKeys.Public()); err != nil {
+			t.Fatalf("poc[%d] from the audited ledger does not verify: %v", i, err)
+		}
+		if proof.X != rec.X {
+			t.Fatalf("poc[%d] record X=%d but proof X=%d", i, rec.X, proof.X)
+		}
+	}
+
+	// The CLI text path renders the same report.
+	var out strings.Builder
+	if err := runAudit(&out, dir, fmt.Sprintf("subscriber=%s,cycle=%d", fp, cycle)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), fmt.Sprintf("%d PoC(s)", sessions+1)) {
+		t.Fatalf("audit output missing PoC count:\n%s", out.String())
+	}
+
+	// Bad queries fail loudly.
+	if err := runAudit(io.Discard, dir, "cycle=zap"); err == nil {
+		t.Fatal("malformed -audit query accepted")
+	}
+	if err := runAudit(io.Discard, dir, "subscriber=x"); err == nil {
+		t.Fatal("-audit without cycle accepted")
 	}
 }
 

@@ -13,6 +13,8 @@ var (
 		"CDRs lost to OFCS crashes (loss-window rollback plus discarded while down)")
 	mCDRBytesLost = metrics.Default.Counter("epc_cdr_bytes_lost_total",
 		"charged bytes carried by CDRs lost to OFCS crashes")
+	mCDRsRecovered = metrics.Default.Counter("epc_cdrs_recovered_total",
+		"loss-window CDRs recovered from the durable ledger on OFCS restart")
 	mQuotaTrips = metrics.Default.Counter("epc_quota_trips_total",
 		"subscribers whose cumulative usage passed the plan quota")
 	mOFCSCrashes = metrics.Default.Counter("epc_ofcs_crashes_total",
@@ -38,6 +40,7 @@ func (o *OFCS) PublishMetrics() {
 	mCDRsEmitted.Add(uint64(len(o.cdrs)))
 	mCDRsLost.Add(uint64(o.LostRecords()))
 	mCDRBytesLost.Add(o.lostBytes)
+	mCDRsRecovered.Add(uint64(o.recovered))
 	mQuotaTrips.Add(uint64(len(o.exceeded)))
 	mOFCSCrashes.Add(uint64(o.crashes))
 }

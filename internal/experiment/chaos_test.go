@@ -151,6 +151,47 @@ func TestChaosZeroSpecIsInert(t *testing.T) {
 	}
 }
 
+// TestChaosDurableLedgerRecovery runs the chaos cycle twice — once
+// ledger-less, once with the durable CDR ledger attached — and pins
+// the recovery contract: the durable run recovers exactly the CDRs
+// the ledger-less run rolled out of the crash loss window, leaves no
+// window residue (SyncEvery=1 makes every append durable), and
+// perturbs nothing at the packet level (the OFCS is a passive sink,
+// so ground truth and both views stay identical).
+func TestChaosDurableLedgerRecovery(t *testing.T) {
+	base := chaosConfig(42)
+	dur := chaosConfig(42)
+	dur.DurableLedger = true
+	dur.LedgerSyncEvery = 1
+
+	rb := NewTestbed(base).Run()
+	rd := NewTestbed(dur).Run()
+
+	if rb.Truth != rd.Truth || rb.EdgeView != rd.EdgeView || rb.OpView != rd.OpView {
+		t.Fatalf("durable ledger perturbed the cycle:\nbase %+v\ndur  %+v", rb, rd)
+	}
+	if rb.FaultTraceHash == rd.FaultTraceHash {
+		t.Fatal("fault traces identical; restart recovery line never emitted")
+	}
+	if rb.LostCDRs == 0 {
+		t.Fatal("ledger-less run lost no CDRs; the crash window did not engage")
+	}
+	// The window loss the ledger-less twin suffered is the recovery
+	// target; records discarded while the OFCS was down are lost in
+	// both runs (the collector was not there to append them).
+	window := rb.LostCDRs - (rd.LostCDRs - rd.LostWindowCDRs)
+	if rd.RecoveredCDRs != window {
+		t.Fatalf("recovered %d CDRs, want the pre-crash loss window %d (base lost %d, dur lost %d, dur window %d)",
+			rd.RecoveredCDRs, window, rb.LostCDRs, rd.LostCDRs, rd.LostWindowCDRs)
+	}
+	if rd.LostWindowCDRs != 0 {
+		t.Fatalf("with SyncEvery=1 every append is durable, yet %d window CDRs stayed lost", rd.LostWindowCDRs)
+	}
+	if rd.RecoveredCDRs == 0 {
+		t.Fatal("nothing recovered; ledger never engaged")
+	}
+}
+
 // TestFaultsParallelWorkerParity pins that the fault sweep is
 // schedule-independent: the same cells swept sequentially and on a
 // 4-worker pool produce byte-identical traces and metrics. (The name

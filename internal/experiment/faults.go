@@ -84,6 +84,8 @@ func Faults(opt Options) Result {
 		meterLost       uint64
 		inBounds        bool
 		converged       bool
+		truthSent       float64
+		truthRecv       float64
 	}
 	const tol = core.DefaultTolerance
 	cells := Sweep(cfgs, opt.Workers, func(cfg Config) cellOut {
@@ -106,6 +108,46 @@ func Faults(opt Options) Result {
 			meterLost: r.MeterLostBytes,
 			inBounds:  best.Converged && best.X >= lo-1e-6 && best.X <= hi+1e-6,
 			converged: best.Converged,
+			truthSent: r.Truth.Sent,
+			truthRecv: r.Truth.Received,
+		}
+	})
+
+	// Durable-ledger twin sweep: re-run the crashing levels with a
+	// ledger attached (synced on every append) and the same per-cell
+	// seeds. The ledger must not perturb the packet-level simulation
+	// (ground truth byte-identical to the twin above), and the
+	// restart must replay exactly the pre-crash loss window:
+	// recovered == twin's lost - durable's residual lost.
+	type durOut struct {
+		recovered  int
+		lostWindow int
+		lost       int
+		truthSent  float64
+		truthRecv  float64
+	}
+	var durLevels []int
+	var durCfgs []Config
+	for li, lv := range levels {
+		spec := lv.spec(opt.Duration)
+		if spec == nil || spec.OFCSCrashAt == 0 {
+			continue
+		}
+		durLevels = append(durLevels, li)
+		for seed := 0; seed < opt.Seeds; seed++ {
+			cfg := cfgs[li*opt.Seeds+seed]
+			cfg.DurableLedger = true
+			durCfgs = append(durCfgs, cfg)
+		}
+	}
+	durCells := Sweep(durCfgs, opt.Workers, func(cfg Config) durOut {
+		r := NewTestbed(cfg).Run()
+		return durOut{
+			recovered:  r.RecoveredCDRs,
+			lostWindow: r.LostWindowCDRs,
+			lost:       r.LostCDRs,
+			truthSent:  r.Truth.Sent,
+			truthRecv:  r.Truth.Received,
 		}
 	})
 
@@ -144,6 +186,34 @@ func Faults(opt Options) Result {
 		metrics["lost_cdrs_"+lv.name] = float64(agg.lostCDRs) / n
 		metrics["billed_in_bounds_"+lv.name] = float64(inBounds) / n
 		metrics["converged_"+lv.name] = float64(converged) / n
+	}
+
+	for di, li := range durLevels {
+		lv := levels[li]
+		exact := 0
+		var recovered, window, residual float64
+		for seed := 0; seed < opt.Seeds; seed++ {
+			twin := cells[li*opt.Seeds+seed]
+			dur := durCells[di*opt.Seeds+seed]
+			// twin.lostCDRs = window + while-down; dur.lost =
+			// torn tail (0 at SyncEvery=1) + while-down. The
+			// difference is the pre-crash loss window.
+			win := twin.lostCDRs - (dur.lost - dur.lostWindow)
+			recovered += float64(dur.recovered)
+			window += float64(win)
+			residual += float64(dur.lost)
+			if dur.recovered+dur.lostWindow == win &&
+				dur.lostWindow == 0 &&
+				dur.truthSent == twin.truthSent && dur.truthRecv == twin.truthRecv {
+				exact++
+			}
+		}
+		n := float64(opt.Seeds)
+		fmt.Fprintf(&b, "durable ledger %-8s: recovered %.1f of %.1f window CDRs/run, residual lost %.1f, exact %d/%d\n",
+			lv.name, recovered/n, window/n, residual/n, exact, opt.Seeds)
+		metrics["recovered_records_"+lv.name] = recovered / n
+		metrics["window_records_"+lv.name] = window / n
+		metrics["ledger_recovery_exact_"+lv.name] = float64(exact) / n
 	}
 
 	forged, typed, runs := byzantineBattery(opt.Seeds)

@@ -25,6 +25,7 @@ import (
 	"tlc/internal/device"
 	"tlc/internal/epc"
 	"tlc/internal/faults"
+	"tlc/internal/ledger"
 	"tlc/internal/monitor"
 	"tlc/internal/netem"
 	"tlc/internal/ran"
@@ -94,6 +95,19 @@ type Config struct {
 	// leaves every RNG fork and golden output byte-identical to a
 	// fault-free build.
 	Faults *faults.Spec
+
+	// DurableLedger attaches a crash-consistent charging ledger
+	// (internal/ledger over an in-memory page-cache model) to the
+	// OFCS: collected CDRs are logged, an injected OFCS crash drops
+	// the log's unsynced tail with the page cache, and the restart
+	// replays the loss window back instead of only counting it. The
+	// OFCS is a passive sink in this testbed, so the packet-level
+	// outputs (truth, views, ε) stay byte-identical with the ledger
+	// on or off — only the CDR loss accounting changes.
+	DurableLedger bool
+	// LedgerSyncEvery is the ledger's group-commit window when
+	// DurableLedger is set; 0 means sync every append (no loss).
+	LedgerSyncEvery int
 }
 
 // RSSSpec describes the signal strength process.
@@ -245,6 +259,21 @@ func NewTestbed(cfg Config) *Testbed {
 	tb.SPGW.MeterHorizon = cfg.Duration + 2*time.Second
 	tb.OFCS = epc.NewOFCS()
 	tb.SPGW.OFCS = tb.OFCS
+	if cfg.DurableLedger {
+		syncEvery := cfg.LedgerSyncEvery
+		if syncEvery <= 0 {
+			syncEvery = 1 // every append durable: the full loss window recovers
+		}
+		led, err := ledger.Open(ledger.Options{
+			Dir: "ofcs", FS: ledger.NewMemFS(), SyncEvery: syncEvery,
+		}, nil)
+		if err == nil {
+			// The ledger draws no randomness and the OFCS is a
+			// passive sink, so attaching it cannot perturb the
+			// packet-level simulation.
+			tb.OFCS.AttachLedger(led, 1)
+		}
+	}
 
 	// Radio.
 	if cfg.RSS.MeanGap > 0 && cfg.RSS.MeanOutage > 0 {
@@ -536,8 +565,14 @@ func (tb *Testbed) Run() *CycleResult {
 				tb.FaultTrace.Addf(s.Now(), "ofcs crash lost=%d window=%s", lost, fs.CDRLossWindow)
 			})
 			s.At(fs.OFCSCrashAt+fs.OFCSDowntime, func() {
-				tb.OFCS.Restart()
-				tb.FaultTrace.Addf(s.Now(), "ofcs restart")
+				recovered := tb.OFCS.Restart()
+				if tb.OFCS.Ledger() != nil {
+					tb.FaultTrace.Addf(s.Now(), "ofcs restart recovered=%d", recovered)
+				} else {
+					// Keep the ledger-less trace byte-identical to
+					// the pre-ledger goldens.
+					tb.FaultTrace.Addf(s.Now(), "ofcs restart")
+				}
 			})
 		}
 		if fs.SPGWRestartAt > 0 {
@@ -620,6 +655,8 @@ type CycleResult struct {
 	FaultDups       uint64
 	FaultDelays     uint64 // spikes + reorder holds
 	LostCDRs        int    // records lost to OFCS crashes
+	RecoveredCDRs   int    // loss-window records replayed from the ledger
+	LostWindowCDRs  int    // loss-window records still missing (torn tail)
 	OFCSCrashes     int
 	GatewayRestarts int
 	MeterLostBytes  uint64 // unflushed bytes lost to meter restarts
@@ -675,6 +712,8 @@ func (tb *Testbed) collect() *CycleResult {
 			r.FaultDelays += l.Stats.FaultDelays
 		}
 		r.LostCDRs = tb.OFCS.LostRecords()
+		r.RecoveredCDRs = tb.OFCS.RecoveredRecords()
+		r.LostWindowCDRs = tb.OFCS.LostWindowRecords()
 		r.OFCSCrashes = tb.OFCS.Crashes()
 		r.GatewayRestarts = tb.SPGW.Restarts()
 		r.MeterLostBytes = tb.SPGW.RestartLostBytes()

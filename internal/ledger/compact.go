@@ -1,0 +1,225 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+)
+
+// snapChunk bounds the entries packed into one snapshot record so the
+// record stays far below MaxRecordBytes regardless of ledger size.
+const snapChunk = 8192
+
+// Compact folds the settled cycles into a snapshot and switches to a
+// new generation:
+//
+//  1. the live generation is synced and replayed into a State;
+//  2. generation g+1 is written — first the snapshot record(s)
+//     (settled-cycle set + per-(cycle,subscriber) aggregates of the
+//     settled cycles), then every retained record (unsettled CDRs in
+//     append order, then all PoCs in append order);
+//  3. CURRENT is atomically switched to g+1;
+//  4. generation g is deleted.
+//
+// A crash anywhere in this sequence is safe: before the CURRENT
+// rename the old generation is intact and the half-written g+1 is
+// orphan debris (removed on next open); after it, g+1 is complete and
+// durable and the old generation is the debris.
+func (l *Ledger) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.sticky != nil {
+		return l.sticky
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.cur.Close(); err != nil {
+		return l.poison(fmt.Errorf("ledger: close for compaction: %w", err))
+	}
+	l.cur = nil
+
+	st := NewState()
+	segs, err := listSegments(l.fs, l.opts.Dir, l.gen)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		data, err := l.fs.ReadFile(join(l.opts.Dir, seg.name))
+		if err != nil {
+			return fmt.Errorf("ledger: compaction read: %w", err)
+		}
+		if _, tear := replaySegment(data, seg.gen, seg.idx, st.Apply); tear != nil {
+			// A synced, live ledger must replay clean end to end.
+			return fmt.Errorf("ledger: compaction replay: %w", tear)
+		}
+	}
+	preFold := len(st.CDRs)
+	st.Finish()
+
+	newGen := l.gen + 1
+	w := &segWriter{l: l, gen: newGen, idx: 1}
+	for _, snap := range buildSnapshots(st) {
+		if err := w.append(&Record{Kind: KindSnapshot, Snap: snap}); err != nil {
+			return err
+		}
+	}
+	for i := range st.CDRs {
+		if err := w.append(&st.CDRs[i]); err != nil {
+			return err
+		}
+	}
+	for i := range st.PoCs {
+		if err := w.append(&st.PoCs[i]); err != nil {
+			return err
+		}
+	}
+	if err := w.finish(); err != nil {
+		return err
+	}
+	if err := writeCurrent(l.fs, l.opts.Dir, newGen); err != nil {
+		return err
+	}
+	// The switch is durable; the old generation is now debris.
+	for _, seg := range segs {
+		if err := l.fs.Remove(join(l.opts.Dir, seg.name)); err != nil {
+			return fmt.Errorf("ledger: remove compacted segment: %w", err)
+		}
+	}
+	l.gen = newGen
+	l.nextIdx = w.idx
+	Metrics.Compactions.Inc()
+	Metrics.CompactedRecords.Add(uint64(preFold - len(st.CDRs)))
+	return l.newSegment()
+}
+
+// buildSnapshots chunks the settled portion of st into snapshot
+// payloads. The first chunk carries the settled-cycle set; entries
+// are ordered by (cycle, subscriber) so compaction output is
+// deterministic.
+func buildSnapshots(st *State) []*Snapshot {
+	keys := make([]UsageKey, 0, len(st.Usage))
+	for k := range st.Usage {
+		if st.Settled[k.Cycle] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Cycle != keys[j].Cycle {
+			return keys[i].Cycle < keys[j].Cycle
+		}
+		return keys[i].Subscriber < keys[j].Subscriber
+	})
+	settled := st.SettledCycles()
+	if len(keys) == 0 && len(settled) == 0 {
+		return nil
+	}
+	var snaps []*Snapshot
+	for len(keys) > 0 || len(snaps) == 0 {
+		n := len(keys)
+		if n > snapChunk {
+			n = snapChunk
+		}
+		snap := &Snapshot{}
+		if len(snaps) == 0 {
+			snap.Settled = settled
+		}
+		for _, k := range keys[:n] {
+			agg := st.Usage[k]
+			snap.Entries = append(snap.Entries, SnapEntry{
+				Cycle:      k.Cycle,
+				Subscriber: k.Subscriber,
+				UL:         agg.UL,
+				DL:         agg.DL,
+				Records:    agg.Records,
+			})
+		}
+		keys = keys[n:]
+		snaps = append(snaps, snap)
+	}
+	return snaps
+}
+
+// segWriter writes a fresh generation's segments with rotation, each
+// synced and closed before the next begins.
+type segWriter struct {
+	l       *Ledger
+	gen     uint64
+	idx     uint64 // next segment index to create
+	cur     File
+	size    int
+	payload []byte
+	buf     []byte
+}
+
+// ensure opens the next segment file if none is active.
+func (w *segWriter) ensure() error {
+	if w.cur != nil {
+		return nil
+	}
+	name := segName(w.gen, w.idx)
+	f, err := w.l.fs.Create(join(w.l.opts.Dir, name))
+	if err != nil {
+		return fmt.Errorf("ledger: compaction create: %w", err)
+	}
+	hdr := segmentHeader(w.gen, w.idx)
+	if _, err := f.Write(hdr[:]); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("ledger: compaction header: %w", err)
+	}
+	w.cur = f
+	w.size = segHeader
+	w.idx++
+	return nil
+}
+
+func (w *segWriter) append(rec *Record) error {
+	size := recordSize(rec)
+	if size > MaxRecordBytes {
+		return ErrRecordTooLarge
+	}
+	if w.cur != nil && w.size+frameHeader+size > w.l.opts.SegmentBytes {
+		if err := w.closeCur(); err != nil {
+			return err
+		}
+	}
+	if err := w.ensure(); err != nil {
+		return err
+	}
+	w.payload = appendRecord(w.payload[:0], rec)
+	w.buf = appendFrame(w.buf[:0], w.payload)
+	if _, err := w.cur.Write(w.buf); err != nil {
+		_ = w.cur.Close()
+		return fmt.Errorf("ledger: compaction write: %w", err)
+	}
+	w.size += len(w.buf)
+	return nil
+}
+
+func (w *segWriter) closeCur() error {
+	if err := w.cur.Sync(); err != nil {
+		_ = w.cur.Close()
+		return fmt.Errorf("ledger: compaction sync: %w", err)
+	}
+	if err := w.cur.Close(); err != nil {
+		return fmt.Errorf("ledger: compaction close: %w", err)
+	}
+	w.cur = nil
+	return nil
+}
+
+func (w *segWriter) finish() error {
+	// An empty generation still gets one header-only segment so the
+	// directory names the generation; replay of it yields nothing.
+	if w.cur == nil && w.idx == 1 {
+		if err := w.ensure(); err != nil {
+			return err
+		}
+	}
+	if w.cur != nil {
+		return w.closeCur()
+	}
+	return nil
+}

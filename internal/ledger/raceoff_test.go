@@ -1,0 +1,6 @@
+//go:build !race
+
+package ledger
+
+// raceEnabled: see raceon_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package ledger
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-count guards skip themselves when it is, because its
+// instrumentation inflates AllocsPerRun.
+const raceEnabled = true

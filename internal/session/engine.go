@@ -3,7 +3,9 @@ package session
 import (
 	"bufio"
 	"crypto/rsa"
+	"crypto/sha256"
 	"crypto/x509"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sync"
@@ -38,6 +40,27 @@ type EngineConfig struct {
 	// OnSettle, if set, is called after each settlement (for sampled
 	// logging); it runs on a crypto worker, so keep it cheap.
 	OnSettle func(conn, sid, x uint64, rounds int)
+	// Recorder, if set, receives every settlement's durable record —
+	// the serialized PoC plus routing identity — on a crypto worker.
+	// Setting it turns on Config.KeepProof so the proof bytes survive
+	// the transport buffers. Keep the callback cheap (an append to a
+	// group-committed ledger qualifies); heavy work belongs on the
+	// callee's own goroutine.
+	Recorder func(ProofRecord)
+}
+
+// ProofRecord is one settled negotiation as handed to a Recorder: the
+// engine-scoped connection id, the client-chosen session id, the hex
+// SHA-256 fingerprint of the peer's PKIX public key (the closest thing
+// a mux peer has to a subscriber identity), the agreed volume, the
+// rounds it took, and the serialized PoC (owned by the record).
+type ProofRecord struct {
+	Conn   uint64
+	SID    uint64
+	PeerFP string
+	X      uint64
+	Rounds int
+	Proof  []byte
 }
 
 // Engine is the sharded session engine: one instance serves every mux
@@ -58,6 +81,7 @@ type Engine struct {
 	peakActive atomic.Int64
 	stopwatch  func() float64
 	onSettle   func(conn, sid, x uint64, rounds int)
+	recorder   func(ProofRecord)
 }
 
 // NewEngine validates the configuration and builds the engine; call
@@ -85,6 +109,9 @@ func NewEngine(ec EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("session: marshal own key: %w", err)
 	}
+	if ec.Recorder != nil {
+		ec.Config.KeepProof = true
+	}
 	return &Engine{
 		cfg:       ec.Config,
 		table:     newTable(ec.Shards, ec.MaxSessions, ec.MaxPending, ec.Seed, ec.Nonce),
@@ -95,6 +122,7 @@ func NewEngine(ec EngineConfig) (*Engine, error) {
 		workers:   ec.Workers,
 		stopwatch: ec.Stopwatch,
 		onSettle:  ec.OnSettle,
+		recorder:  ec.Recorder,
 	}, nil
 }
 
@@ -139,7 +167,11 @@ func (e *Engine) KeyCacheStats() (hits, misses uint64) { return e.keys.Stats() }
 type muxConn struct {
 	id      uint64
 	peerKey *rsa.PublicKey
-	out     *outQueue
+	// peerFP is the hex SHA-256 fingerprint of the peer's PKIX DER,
+	// computed once at hello; the recorder uses it as the subscriber
+	// identity for settled proofs.
+	peerFP string
+	out    *outQueue
 	// sessions indexes this conn's sessions by sid. Only the reader
 	// goroutine touches it (dispatch inserts, teardown sweeps after
 	// the read loop exits), so it needs no lock. Finished sessions
@@ -188,6 +220,10 @@ func (e *Engine) ServeConn(conn io.ReadWriter, hello []byte) error {
 		peerKey:  peerKey,
 		out:      newOutQueue(),
 		sessions: make(map[uint64]*session),
+	}
+	if e.recorder != nil {
+		fp := sha256.Sum256(der)
+		c.peerFP = hex.EncodeToString(fp[:])
 	}
 	writerDone := make(chan struct{})
 	go func() {

@@ -1,6 +1,9 @@
 package session
 
 import (
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/hex"
 	"net"
 	"runtime"
 	"sync"
@@ -223,6 +226,66 @@ func TestEngineRejectsForgedPoC(t *testing.T) {
 	}
 	if res.Settled != sessions-forged {
 		t.Fatalf("settled = %d, want %d honest sessions", res.Settled, sessions-forged)
+	}
+}
+
+// TestEngineRecorderCapturesSettlements pins the durable-record hook:
+// every settled session hands the recorder a verifiable serialized PoC
+// tagged with the peer-key fingerprint, whether this side signed the
+// final proof or merely received it.
+func TestEngineRecorderCapturesSettlements(t *testing.T) {
+	var mu sync.Mutex
+	var recs []ProofRecord
+	ec := operatorEngineConfig()
+	ec.Shards = 4
+	ec.Workers = 2
+	ec.Recorder = func(pr ProofRecord) {
+		mu.Lock()
+		recs = append(recs, pr)
+		mu.Unlock()
+	}
+	_, addr, _ := startEngine(t, ec)
+
+	const sessions = 40
+	conns := dialConns(t, addr, 2)
+	res, err := RunClient(edgeClientConfig(sessions, conns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Settled != sessions {
+		t.Fatalf("settled = %d, want %d", res.Settled, sessions)
+	}
+
+	edgeDER, err := x509.MarshalPKIXPublicKey(&edgeKeys.Private.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := sha256.Sum256(edgeDER)
+	wantFP := hex.EncodeToString(fp[:])
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recs) != sessions {
+		t.Fatalf("recorder saw %d settlements, want %d", len(recs), sessions)
+	}
+	for _, pr := range recs {
+		if pr.PeerFP != wantFP {
+			t.Fatalf("record fingerprint %q, want %q", pr.PeerFP, wantFP)
+		}
+		if len(pr.Proof) == 0 {
+			t.Fatalf("record for sid %d carries no proof bytes", pr.SID)
+		}
+		var proof poc.PoC
+		if err := proof.UnmarshalBinary(pr.Proof); err != nil {
+			t.Fatalf("sid %d proof does not decode: %v", pr.SID, err)
+		}
+		if err := poc.VerifyStateless(&proof, testPlan,
+			&edgeKeys.Private.PublicKey, &opKeys.Private.PublicKey); err != nil {
+			t.Fatalf("sid %d recorded proof does not verify: %v", pr.SID, err)
+		}
+		if proof.X != pr.X {
+			t.Fatalf("sid %d record X=%d but proof X=%d", pr.SID, pr.X, proof.X)
+		}
 	}
 }
 

@@ -23,6 +23,11 @@ type Config struct {
 	View     core.View
 	// MaxRounds caps claims per session (0 = core.DefaultMaxRounds).
 	MaxRounds int
+	// KeepProof retains the serialized final PoC on each settled
+	// machine (copied out of transport buffers where needed) so a
+	// settlement recorder can persist it. Off by default: the hot
+	// path stays allocation-free when nobody asks for the bytes.
+	KeepProof bool
 }
 
 func (c *Config) maxRounds() int {
@@ -75,6 +80,7 @@ type Machine struct {
 	finisher bool // we sent the final PoC (vs received it)
 	x        uint64
 	rejected bool // peer aborted us with a TypeReject frame
+	proof    []byte
 }
 
 // Init readies the machine for a fresh negotiation against peerKey.
@@ -93,6 +99,11 @@ func (m *Machine) Done() bool     { return m.done }
 func (m *Machine) X() uint64      { return m.x }
 func (m *Machine) Finisher() bool { return m.finisher }
 func (m *Machine) Rounds() int    { return m.rounds }
+
+// Proof returns the serialized final PoC of a settled machine, or nil
+// unless Config.KeepProof was set. The slice is owned by the machine
+// (never aliases a pooled transport buffer).
+func (m *Machine) Proof() []byte { return m.proof }
 
 func (m *Machine) coreRole() core.Role {
 	if m.cfg.Role == poc.RoleEdge {
@@ -231,6 +242,11 @@ func (m *Machine) Handle(frame []byte, env *Env, emit func([]byte) error) (finis
 				return false, err
 			}
 			m.done, m.finisher, m.x = true, true, proof.X
+			if m.cfg.KeepProof {
+				// data is a fresh MarshalBinary allocation; emit copied
+				// it into the outbound frame, so it is ours to keep.
+				m.proof = data
+			}
 			return true, nil
 		}
 		m.tighten(cda.Volume)
@@ -262,6 +278,11 @@ func (m *Machine) Handle(frame []byte, env *Env, emit func([]byte) error) (finis
 			return false, fmt.Errorf("%w: PoC does not embed the CDA we sent", protocol.ErrStaleProof)
 		}
 		m.done, m.finisher, m.x = true, false, proof.X
+		if m.cfg.KeepProof {
+			// frame is a pooled transport buffer recycled after this
+			// call; the retained proof must be a copy.
+			m.proof = append([]byte(nil), frame...)
+		}
 		return true, nil
 
 	default:

@@ -257,6 +257,16 @@ func (e *Engine) settleSession(s *session) {
 	if e.onSettle != nil {
 		e.onSettle(s.key.conn, s.key.sid, s.m.X(), s.m.Rounds())
 	}
+	if e.recorder != nil {
+		e.recorder(ProofRecord{
+			Conn:   s.key.conn,
+			SID:    s.key.sid,
+			PeerFP: s.conn.peerFP,
+			X:      s.m.X(),
+			Rounds: s.m.Rounds(),
+			Proof:  s.m.Proof(),
+		})
+	}
 }
 
 // failSession tears down an admitted session after a validation,

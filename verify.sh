@@ -30,6 +30,13 @@
 #                -race asserting zero rejections below the admission
 #                cap, and schema + invariant validation of the
 #                checked-in BENCH_tlcd_scale.json
+#   ledger     — the durable charging ledger: the crash-point torture
+#                sweeps (every kill offset of the tail segment, bit
+#                flips, injected fsync failpoints) plus the replay
+#                differential under the race detector, a short
+#                coverage-guided fuzz of segment replay, and schema +
+#                invariant validation of the checked-in
+#                BENCH_ledger.json durability cost curve
 #   allocs     — testing.AllocsPerRun guards for the event-engine,
 #                metrics-observation and frame-reader hot paths; these
 #                skip themselves under -race (its instrumentation
@@ -81,7 +88,10 @@ stage operator go test -run Operator -race -count=1 ./cmd/tlcd
 stage tlcdscale go test -run EngineOverload -race -count=1 ./internal/session
 stage tlcdscale go run -race ./cmd/tlcbench -lg-smoke -lg-sessions 2000
 stage tlcdscale go run ./cmd/tlcbench -lg-check BENCH_tlcd_scale.json
-stage allocs go test -run ZeroAlloc ./internal/sim ./internal/netem ./internal/metrics ./internal/protocol
+stage ledger go test -run 'Torture|Prop' -short -race ./internal/ledger
+stage ledger go test -run '^$' -fuzz '^FuzzLedgerReplay$' -fuzztime 10s ./internal/ledger
+stage ledger go run ./cmd/tlcbench -ledger-check BENCH_ledger.json
+stage allocs go test -run ZeroAlloc ./internal/sim ./internal/netem ./internal/metrics ./internal/protocol ./internal/ledger
 stage bench go test -run '^$' -bench . -benchtime 1x ./...
 stage bench city_smoke
 stage fuzz go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/protocol
