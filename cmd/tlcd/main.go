@@ -35,6 +35,7 @@ import (
 	"crypto/x509"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -543,6 +544,9 @@ func runAudit(w io.Writer, dir, query string) error {
 	}
 	rep, err := ledger.Audit(ledger.DirFS{}, dir, subscriber, cycle)
 	if err != nil {
+		if errors.Is(err, ledger.ErrDirNotExist) {
+			return fmt.Errorf("-audit: -ledger-dir %s does not exist (check the path)", dir)
+		}
 		return err
 	}
 	var b strings.Builder

@@ -406,6 +406,12 @@ func TestOperatorLedgerAudit(t *testing.T) {
 	if err := runAudit(io.Discard, dir, "subscriber=x"); err == nil {
 		t.Fatal("-audit without cycle accepted")
 	}
+	// A mistyped -ledger-dir names the path instead of pretending the
+	// ledger is merely empty.
+	err = runAudit(io.Discard, dir+"-no-such", "subscriber=x,cycle=1")
+	if err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("missing -ledger-dir: err = %v, want a does-not-exist diagnosis", err)
+	}
 }
 
 // TestOperatorStopWithoutTraffic: the shutdown trigger alone (the

@@ -361,7 +361,7 @@ func ByID(id string) (func(Options) Result, bool) {
 		"fig15": Fig15, "fig16a": Fig16a, "fig16b": Fig16b, "fig17": Fig17,
 		"fig18": Fig18, "appendixD": AppendixD, "handover": Handover,
 		"retransmission": Retransmission, "strawman": Strawman,
-		"faults": Faults, "city": City,
+		"faults": Faults, "city": City, "roaming": Roaming,
 	}
 	f, ok := m[id]
 	return f, ok
@@ -370,7 +370,7 @@ func ByID(id string) (func(Options) Result, bool) {
 // IDs lists the experiment identifiers in presentation order.
 var IDs = []string{"headline", "fig3", "fig4", "dataset", "fig12", "table2",
 	"fig13", "fig14", "fig15", "fig16a", "fig16b", "fig17", "fig18", "appendixD",
-	"handover", "retransmission", "strawman", "faults", "city"}
+	"handover", "retransmission", "strawman", "faults", "city", "roaming"}
 
 // verify core.Strategy is exercised via Evaluate (compile-time use of
 // core in this file's imports).

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The roaming sweep must be byte-identical at any worker count —
+// determinism is what makes the settlement numbers auditable — and
+// the byzantine chain battery must pin byz_chain_verified to zero.
+
+func TestRoamingWorkerParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crypto battery in -short mode")
+	}
+	opt := Options{Seeds: 2}
+	base := Roaming(opt)
+	for _, workers := range []int{0, 1, 4, 4, runtime.NumCPU()} {
+		o := opt
+		o.Workers = workers
+		got := Roaming(o)
+		if got.Text != base.Text {
+			t.Fatalf("workers=%d text diverged:\n--- base ---\n%s--- got ---\n%s",
+				workers, base.Text, got.Text)
+		}
+		if !reflect.DeepEqual(got.Metrics, base.Metrics) {
+			t.Fatalf("workers=%d metrics diverged", workers)
+		}
+	}
+}
+
+func TestRoamingQuickMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crypto battery in -short mode")
+	}
+	res := Roaming(Options{Seeds: 2})
+	if res.ID != "roaming" {
+		t.Fatalf("result ID = %q", res.ID)
+	}
+	if res.Metrics["byz_chain_verified"] != 0 {
+		t.Fatalf("byz_chain_verified = %v, must be 0\n%s",
+			res.Metrics["byz_chain_verified"], res.Text)
+	}
+	runs := res.Metrics["byz_chain_runs"]
+	if runs == 0 || res.Metrics["byz_chain_typed_rejections"] != runs {
+		t.Fatalf("battery: %v typed rejections of %v runs\n%s",
+			res.Metrics["byz_chain_typed_rejections"], runs, res.Text)
+	}
+	if res.Metrics["roam_wire_runs"] == 0 ||
+		res.Metrics["roam_wire_ok"] != res.Metrics["roam_wire_runs"] {
+		t.Fatalf("wire check: %v/%v honest chains settled",
+			res.Metrics["roam_wire_ok"], res.Metrics["roam_wire_runs"])
+	}
+	for _, lv := range roamLevels() {
+		if res.Metrics["roam_zero_sum_"+lv.name] != 1 {
+			t.Fatalf("level %s: settlement not zero-sum\n%s", lv.name, res.Text)
+		}
+		if res.Metrics["roam_in_bound_"+lv.name] != 1 {
+			t.Fatalf("level %s: chained gap escaped its bound\n%s", lv.name, res.Text)
+		}
+		if res.Metrics["roam_converged_"+lv.name] != 1 {
+			t.Fatalf("level %s: honest chained game did not converge", lv.name)
+		}
+	}
+	// The chained scheme must beat legacy billing once real visited-
+	// network loss is in play.
+	if res.Metrics["roam_gap_pct_chained_20pct"] >= res.Metrics["roam_gap_pct_legacy_20pct"] {
+		t.Fatalf("chained gap (%v%%) not below legacy gap (%v%%) at 20%% loss",
+			res.Metrics["roam_gap_pct_chained_20pct"], res.Metrics["roam_gap_pct_legacy_20pct"])
+	}
+	if !strings.Contains(res.Text, "byzantine battery:") {
+		t.Fatalf("battery line missing from text:\n%s", res.Text)
+	}
+}

@@ -14,6 +14,9 @@ type AuditReport struct {
 	// individuals but still counted in the aggregate below.
 	CDRs []Record
 	PoCs []Record
+	// Chains are the matching roaming settlement chains: billed
+	// volume plus relay provenance plus the re-verifiable chain bytes.
+	Chains []Record
 	// Aggregate usage: live records plus snapshot entries.
 	UL, DL  uint64
 	Records uint32
@@ -39,6 +42,10 @@ func Audit(fsys FS, dir, subscriber string, cycle uint64) (*AuditReport, error) 
 		case KindPoC:
 			if rec.Subscriber == subscriber && rec.Cycle == cycle {
 				rep.PoCs = append(rep.PoCs, cloneRecord(rec))
+			}
+		case KindChainPoC:
+			if rec.Subscriber == subscriber && rec.Cycle == cycle {
+				rep.Chains = append(rep.Chains, cloneRecord(rec))
 			}
 		case KindMark:
 			if rec.Cycle == cycle {

@@ -1,0 +1,87 @@
+package ledger
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Roaming chains are evidence records like PoCs: they must round-trip
+// the codec exactly and survive compaction verbatim, provenance
+// included, so an offline audit can re-verify the multi-operator path
+// long after the cycle settled.
+
+func TestChainPoCRecordRoundTrip(t *testing.T) {
+	rec := &Record{
+		Kind:       KindChainPoC,
+		Cycle:      7,
+		Subscriber: "imsi-roam",
+		X:          950,
+		Rounds:     3,
+		Links:      1,
+		Via:        "visited-fp-aa55",
+		Proof:      []byte{5, 1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	payload := appendRecord(nil, rec)
+	if len(payload) != recordSize(rec) {
+		t.Fatalf("encoded %d bytes, recordSize says %d", len(payload), recordSize(rec))
+	}
+	var back Record
+	if err := decodeRecord(payload, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Via != rec.Via || back.Links != rec.Links || back.X != rec.X ||
+		back.Rounds != rec.Rounds || !bytes.Equal(back.Proof, rec.Proof) {
+		t.Fatalf("round trip changed record: %+v", back)
+	}
+	re := appendRecord(nil, &back)
+	if !bytes.Equal(re, payload) {
+		t.Fatal("re-encode not canonical")
+	}
+}
+
+func TestChainPoCSurvivesCompaction(t *testing.T) {
+	const dir = "led"
+	fsys := NewMemFS()
+	l, err := Open(Options{Dir: dir, FS: fsys, SyncEvery: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Kind: KindCDR, Cycle: 4, Subscriber: "imsi-roam", UL: 500, DL: 450}); err != nil {
+		t.Fatal(err)
+	}
+	chain := &Record{
+		Kind: KindChainPoC, Cycle: 4, Subscriber: "imsi-roam",
+		X: 950, Rounds: 2, Links: 1, Via: "visited-fp-aa55",
+		Proof: []byte{5, 9, 9, 9},
+	}
+	if err := l.Append(chain); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MarkSettled(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Audit(fsys, dir, "imsi-roam", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CDRs) != 0 {
+		t.Fatalf("raw CDRs survived compaction: %d", len(rep.CDRs))
+	}
+	if len(rep.Chains) != 1 {
+		t.Fatalf("chains after compaction: %d, want 1", len(rep.Chains))
+	}
+	got := rep.Chains[0]
+	if got.Via != chain.Via || got.Links != chain.Links || got.X != chain.X ||
+		!bytes.Equal(got.Proof, chain.Proof) {
+		t.Fatalf("chain provenance mangled by compaction: %+v", got)
+	}
+	if !rep.Settled || rep.UL != 500 || rep.DL != 450 {
+		t.Fatalf("aggregate lost: %+v", rep)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

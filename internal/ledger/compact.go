@@ -5,9 +5,16 @@ import (
 	"sort"
 )
 
-// snapChunk bounds the entries packed into one snapshot record so the
-// record stays far below MaxRecordBytes regardless of ledger size.
-const snapChunk = 8192
+// snapChunk bounds the entries packed into one snapshot record and
+// snapBudget bounds its encoded payload bytes. Both limits apply: the
+// count keeps chunks cheap to stream through replay, and the byte
+// budget is the correctness bound — 8192 entries with max-length
+// subscriber ids (or a huge settled-cycle set) would otherwise encode
+// past MaxRecordBytes and fail the compaction that tried to write it.
+const (
+	snapChunk  = 8192
+	snapBudget = MaxRecordBytes / 2
+)
 
 // Compact folds the settled cycles into a snapshot and switches to a
 // new generation:
@@ -16,7 +23,8 @@ const snapChunk = 8192
 //  2. generation g+1 is written — first the snapshot record(s)
 //     (settled-cycle set + per-(cycle,subscriber) aggregates of the
 //     settled cycles), then every retained record (unsettled CDRs in
-//     append order, then all PoCs in append order);
+//     append order, then all PoCs, then all roaming chains, each in
+//     append order);
 //  3. CURRENT is atomically switched to g+1;
 //  4. generation g is deleted.
 //
@@ -41,19 +49,32 @@ func (l *Ledger) Compact() error {
 	}
 	l.cur = nil
 
+	// fail recovers from an error before the CURRENT switch: the old
+	// generation is intact and any half-written g+1 segments are
+	// orphan debris (swept on the next open), but the active segment
+	// handle was already closed above — without restoring one, the
+	// next Append would dereference a nil handle and wedge the ledger
+	// on a compaction failure that was perfectly recoverable.
+	fail := func(err error) error {
+		if serr := l.newSegment(); serr != nil {
+			return l.poison(serr)
+		}
+		return err
+	}
+
 	st := NewState()
 	segs, err := listSegments(l.fs, l.opts.Dir, l.gen)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	for _, seg := range segs {
 		data, err := l.fs.ReadFile(join(l.opts.Dir, seg.name))
 		if err != nil {
-			return fmt.Errorf("ledger: compaction read: %w", err)
+			return fail(fmt.Errorf("ledger: compaction read: %w", err))
 		}
 		if _, tear := replaySegment(data, seg.gen, seg.idx, st.Apply); tear != nil {
 			// A synced, live ledger must replay clean end to end.
-			return fmt.Errorf("ledger: compaction replay: %w", tear)
+			return fail(fmt.Errorf("ledger: compaction replay: %w", tear))
 		}
 	}
 	preFold := len(st.CDRs)
@@ -63,30 +84,36 @@ func (l *Ledger) Compact() error {
 	w := &segWriter{l: l, gen: newGen, idx: 1}
 	for _, snap := range buildSnapshots(st) {
 		if err := w.append(&Record{Kind: KindSnapshot, Snap: snap}); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	for i := range st.CDRs {
 		if err := w.append(&st.CDRs[i]); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	for i := range st.PoCs {
 		if err := w.append(&st.PoCs[i]); err != nil {
-			return err
+			return fail(err)
+		}
+	}
+	for i := range st.Chains {
+		if err := w.append(&st.Chains[i]); err != nil {
+			return fail(err)
 		}
 	}
 	if err := w.finish(); err != nil {
-		return err
+		return fail(err)
 	}
 	if err := writeCurrent(l.fs, l.opts.Dir, newGen); err != nil {
-		return err
+		return fail(err)
 	}
-	// The switch is durable; the old generation is now debris.
+	// The switch is durable; the old generation is now debris. Removal
+	// is best-effort — a leftover dead-generation segment is swept by
+	// removeOrphans on the next open, and an unlink failure must not
+	// fail a compaction whose switch already happened.
 	for _, seg := range segs {
-		if err := l.fs.Remove(join(l.opts.Dir, seg.name)); err != nil {
-			return fmt.Errorf("ledger: remove compacted segment: %w", err)
-		}
+		_ = l.fs.Remove(join(l.opts.Dir, seg.name))
 	}
 	l.gen = newGen
 	l.nextIdx = w.idx
@@ -96,8 +123,10 @@ func (l *Ledger) Compact() error {
 }
 
 // buildSnapshots chunks the settled portion of st into snapshot
-// payloads. The first chunk carries the settled-cycle set; entries
-// are ordered by (cycle, subscriber) so compaction output is
+// payloads, packing greedily under both snapChunk and snapBudget.
+// The settled-cycle set spreads over as many leading chunks as it
+// needs (State.Apply unions Settled across snapshots); entries are
+// ordered by (cycle, subscriber) so compaction output is
 // deterministic.
 func buildSnapshots(st *State) []*Snapshot {
 	keys := make([]UsageKey, 0, len(st.Usage))
@@ -117,27 +146,39 @@ func buildSnapshots(st *State) []*Snapshot {
 		return nil
 	}
 	var snaps []*Snapshot
-	for len(keys) > 0 || len(snaps) == 0 {
-		n := len(keys)
-		if n > snapChunk {
-			n = snapChunk
+	cur := &Snapshot{}
+	size := 0
+	emit := func() {
+		snaps = append(snaps, cur)
+		cur = &Snapshot{}
+		size = 0
+	}
+	for _, c := range settled {
+		if size+8 > snapBudget {
+			emit()
 		}
-		snap := &Snapshot{}
-		if len(snaps) == 0 {
-			snap.Settled = settled
+		cur.Settled = append(cur.Settled, c)
+		size += 8
+	}
+	for _, k := range keys {
+		// Encoded SnapEntry size per appendRecord: cycle + sublen +
+		// subscriber + UL + DL + records.
+		esz := 8 + 4 + len(k.Subscriber) + 8 + 8 + 4
+		if len(cur.Entries) >= snapChunk || size+esz > snapBudget {
+			emit()
 		}
-		for _, k := range keys[:n] {
-			agg := st.Usage[k]
-			snap.Entries = append(snap.Entries, SnapEntry{
-				Cycle:      k.Cycle,
-				Subscriber: k.Subscriber,
-				UL:         agg.UL,
-				DL:         agg.DL,
-				Records:    agg.Records,
-			})
-		}
-		keys = keys[n:]
-		snaps = append(snaps, snap)
+		agg := st.Usage[k]
+		cur.Entries = append(cur.Entries, SnapEntry{
+			Cycle:      k.Cycle,
+			Subscriber: k.Subscriber,
+			UL:         agg.UL,
+			DL:         agg.DL,
+			Records:    agg.Records,
+		})
+		size += esz
+	}
+	if len(cur.Settled) > 0 || len(cur.Entries) > 0 || len(snaps) == 0 {
+		snaps = append(snaps, cur)
 	}
 	return snaps
 }

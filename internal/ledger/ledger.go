@@ -3,6 +3,7 @@ package ledger
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"sort"
 	"strconv"
 	"strings"
@@ -454,7 +455,13 @@ const currentFile = "CURRENT"
 func readCurrent(fsys FS, dir string) (uint64, error) {
 	data, err := fsys.ReadFile(join(dir, currentFile))
 	if err != nil {
-		return 0, nil // no CURRENT yet: fresh ledger
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil // no CURRENT yet: fresh ledger
+		}
+		// Any other failure (permissions, I/O) must NOT look like a
+		// fresh ledger: starting generation 1 over an unreadable
+		// CURRENT would orphan the real log on the next compaction.
+		return 0, fmt.Errorf("ledger: read CURRENT: %w", err)
 	}
 	var gen uint64
 	if _, err := fmt.Sscanf(string(data), "%d", &gen); err != nil || gen == 0 {

@@ -43,6 +43,11 @@ const (
 	// KindSnapshot is the compaction artifact: aggregated usage of
 	// settled cycles plus the settled-cycle set.
 	KindSnapshot Kind = 4
+	// KindChainPoC is one settled roaming chain: the billed volume,
+	// the relay provenance (visited-operator fingerprint and link
+	// count) and the full signed chain bytes (poc.Chain encoding), so
+	// an offline audit can re-verify the whole multi-operator path.
+	KindChainPoC Kind = 5
 )
 
 // Limits keeping a corrupt length prefix from driving allocation.
@@ -69,10 +74,16 @@ type Record struct {
 	TimeUsage  int64
 	UL, DL     uint64
 
-	// KindPoC fields.
+	// KindPoC fields; KindChainPoC reuses X, Rounds and Proof (the
+	// chain bytes).
 	X      uint64
 	Rounds uint32
 	Proof  []byte
+
+	// KindChainPoC provenance: the relaying (visited) operator's key
+	// fingerprint and the number of chain links.
+	Via   string
+	Links uint32
 
 	// KindSnapshot payload.
 	Snap *Snapshot
@@ -189,6 +200,14 @@ func appendRecord(dst []byte, rec *Record) []byte {
 		dst = appendU32(dst, rec.Rounds)
 		dst = appendU32(dst, uint32(len(rec.Proof)))
 		dst = append(dst, rec.Proof...)
+	case KindChainPoC:
+		dst = appendU64(dst, rec.X)
+		dst = appendU32(dst, rec.Rounds)
+		dst = appendU32(dst, rec.Links)
+		dst = appendU32(dst, uint32(len(rec.Via)))
+		dst = append(dst, rec.Via...)
+		dst = appendU32(dst, uint32(len(rec.Proof)))
+		dst = append(dst, rec.Proof...)
 	case KindMark:
 	case KindSnapshot:
 		snap := rec.Snap
@@ -224,6 +243,8 @@ func recordSize(rec *Record) int {
 		n += 4 + 4 + 8 + 8 + 8
 	case KindPoC:
 		n += 8 + 4 + 4 + len(rec.Proof)
+	case KindChainPoC:
+		n += 8 + 4 + 4 + 4 + len(rec.Via) + 4 + len(rec.Proof)
 	case KindSnapshot:
 		if rec.Snap != nil {
 			n += 4 + 8*len(rec.Snap.Settled) + 4
@@ -282,6 +303,28 @@ func decodeRecord(payload []byte, rec *Record) error {
 			return err
 		}
 		if rec.Rounds, err = d.u32(); err != nil {
+			return err
+		}
+		n, err := d.u32()
+		if err != nil {
+			return err
+		}
+		if int(n) > len(d.b)-d.off {
+			return errTruncatedPayload
+		}
+		rec.Proof = append([]byte(nil), d.b[d.off:d.off+int(n)]...)
+		d.off += int(n)
+	case KindChainPoC:
+		if rec.X, err = d.u64(); err != nil {
+			return err
+		}
+		if rec.Rounds, err = d.u32(); err != nil {
+			return err
+		}
+		if rec.Links, err = d.u32(); err != nil {
+			return err
+		}
+		if rec.Via, err = d.str(MaxSubscriberLen); err != nil {
 			return err
 		}
 		n, err := d.u32()

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io/fs"
 	"sort"
 )
 
@@ -76,6 +77,17 @@ type callbackError struct{ err error }
 func (e callbackError) Error() string { return "ledger: replay callback: " + e.err.Error() }
 func (e callbackError) Unwrap() error { return e.err }
 
+// ErrNoLedger is returned by Replay (and so Audit) when the directory
+// exists but holds no ledger generation — nothing was ever appended
+// there.
+var ErrNoLedger = errors.New("ledger: no ledger")
+
+// ErrDirNotExist is returned by Replay (and so Audit) when the ledger
+// directory itself does not exist. It gets its own identity because
+// for an audit query it almost always means a mistyped -ledger-dir,
+// not a legitimately empty store.
+var ErrDirNotExist = errors.New("ledger: directory does not exist")
+
 // Replay streams every verified record of the ledger in dir through
 // fn, read-only: no repair, no new segment, no handle kept. It is the
 // audit path — it works on a live ledger's directory as well as a
@@ -89,7 +101,16 @@ func Replay(fsys FS, dir string, fn func(*Record) error) error {
 		return err
 	}
 	if gen == 0 {
-		return fmt.Errorf("ledger: no ledger at %s", dir)
+		// No CURRENT: tell a missing directory apart from an existing
+		// but empty one — the former is an operator pointing the audit
+		// at the wrong path and deserves a precise error.
+		if _, derr := fsys.ReadDir(dir); derr != nil {
+			if errors.Is(derr, fs.ErrNotExist) {
+				return fmt.Errorf("%w: %s", ErrDirNotExist, dir)
+			}
+			return fmt.Errorf("ledger: list %s: %w", dir, derr)
+		}
+		return fmt.Errorf("%w at %s", ErrNoLedger, dir)
 	}
 	segs, err := listSegments(fsys, dir, gen)
 	if err != nil {
@@ -138,6 +159,9 @@ type State struct {
 	// PoCs holds every settled proof-of-charge, in append order.
 	// Proofs are never folded away: they are the billable evidence.
 	PoCs []Record
+	// Chains holds every settled roaming chain, in append order.
+	// Like PoCs they are evidence and survive compaction verbatim.
+	Chains []Record
 }
 
 // NewState returns an empty State.
@@ -162,6 +186,8 @@ func (s *State) Apply(rec *Record) error {
 		s.CDRs = append(s.CDRs, cloneRecord(rec))
 	case KindPoC:
 		s.PoCs = append(s.PoCs, cloneRecord(rec))
+	case KindChainPoC:
+		s.Chains = append(s.Chains, cloneRecord(rec))
 	case KindMark:
 		s.Settled[rec.Cycle] = true
 	case KindSnapshot:

@@ -1,0 +1,424 @@
+package poc
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Roaming extends the bilateral proof of §5.3 to the three-party
+// topology of a roaming subscriber: the edge vendor settles with the
+// visited operator, the visited operator countersigns that settlement
+// and relays the charged volume upstream, and the home operator
+// settles the relayed claim. The chain ties the segments together so
+// the home operator (or any third party holding the public keys) can
+// verify the whole path without trusting the visited operator:
+//
+//	vendor ──PoC₁── visited ──countersig(PoC₁)──┐
+//	                visited ──PoC₂── home        │ Chain{[{PoC₁,CS₁}], PoC₂}
+//
+// Each settlement segment is an ordinary bilateral PoC (the relay
+// plays the wire role of the claimant upstream and of the operator
+// downstream), so Algorithm 2 verifies every segment unchanged. What
+// the chain adds is the glue the relay cannot forge: a countersignature
+// binding the downstream proof by digest, and the invariant that the
+// volume claimed upstream equals the volume settled downstream.
+
+// Message kinds for the chain extension (bilateral kinds are 1-3).
+const (
+	kindCountersig byte = 4
+	kindChain      byte = 5
+)
+
+// MaxChainLinks bounds the relay depth of a chain. Real roaming paths
+// have one visited operator; the codec allows a few more for nested
+// wholesale agreements but refuses absurd chains outright.
+const MaxChainLinks = 8
+
+// Errors specific to chain verification. Segment-level failures keep
+// their Algorithm 2 identities (ErrBadSignature, ErrPlanMismatch, …).
+var (
+	// ErrCountersig means a relay's countersignature did not verify
+	// under the relay's public key.
+	ErrCountersig = errors.New("poc: countersignature verification failed")
+	// ErrChainDigest means a countersignature does not bind the proof
+	// it rides with — the link was reassembled from mismatched parts.
+	ErrChainDigest = errors.New("poc: countersignature digest does not match proof")
+	// ErrChainRelay means the volume claimed upstream differs from the
+	// volume settled (and countersigned) downstream — the relay
+	// inflated or deflated the traffic it forwarded.
+	ErrChainRelay = errors.New("poc: relayed volume inconsistent across chain")
+	// ErrChainLength means the chain's link count does not match the
+	// verifier's relay topology (or exceeds MaxChainLinks).
+	ErrChainLength = errors.New("poc: chain length inconsistent with topology")
+)
+
+// Countersig is a relay's endorsement of a downstream settlement: it
+// binds the downstream PoC by digest and states the volume the relay
+// carries upstream, which must equal the proof's settled X. The home
+// operator accepts an upstream claim only when it arrives endorsed.
+type Countersig struct {
+	Plan      Plan
+	Seq       uint32
+	Relayed   uint64   // volume claimed upstream; must equal the bound proof's X
+	Digest    [32]byte // SHA-256 of the countersigned PoC's marshaled bytes
+	Nonce     Nonce
+	Signature []byte
+}
+
+// payload serialises the signed portion of a countersignature.
+func (c *Countersig) payload() []byte {
+	var b bytes.Buffer
+	b.WriteByte(kindCountersig)
+	putPlan(&b, c.Plan)
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], c.Seq)
+	b.Write(tmp[:4])
+	binary.BigEndian.PutUint64(tmp[:], c.Relayed)
+	b.Write(tmp[:])
+	b.Write(c.Digest[:])
+	b.Write(c.Nonce[:])
+	return b.Bytes()
+}
+
+// Sign computes the relay's signature over the endorsement.
+func (c *Countersig) Sign(key *rsa.PrivateKey) error {
+	sig, err := signPayload(key, c.payload())
+	if err != nil {
+		return err
+	}
+	c.Signature = sig
+	return nil
+}
+
+// Verify checks the signature against the relay's public key.
+func (c *Countersig) Verify(pub *rsa.PublicKey) error {
+	return verifyPayload(pub, c.payload(), c.Signature)
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *Countersig) MarshalBinary() ([]byte, error) {
+	var b bytes.Buffer
+	b.Write(c.payload())
+	putSig(&b, c.Signature)
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Countersig) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	kind, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if kind != kindCountersig {
+		return fmt.Errorf("poc: expected countersignature, got kind %d", kind)
+	}
+	if c.Plan, err = getPlan(r); err != nil {
+		return err
+	}
+	var tmp [8]byte
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return err
+	}
+	c.Seq = binary.BigEndian.Uint32(tmp[:4])
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return err
+	}
+	c.Relayed = binary.BigEndian.Uint64(tmp[:])
+	if _, err := io.ReadFull(r, c.Digest[:]); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r, c.Nonce[:]); err != nil {
+		return err
+	}
+	if c.Signature, err = getSig(r); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return errors.New("poc: trailing bytes after countersignature")
+	}
+	return nil
+}
+
+// ProofDigest is the digest a countersignature binds: SHA-256 over the
+// proof's full marshaled bytes (signature and nonces included), so any
+// re-signing or nonce swap breaks the binding.
+func ProofDigest(p *PoC) ([32]byte, error) {
+	raw, err := p.MarshalBinary()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(raw), nil
+}
+
+// Countersign builds a relay's endorsement of the downstream proof p:
+// the relayed volume is exactly the settled X, the digest binds the
+// proof bytes, and the relay signs both.
+func Countersign(p *PoC, random io.Reader, key *rsa.PrivateKey) (*Countersig, error) {
+	digest, err := ProofDigest(p)
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := NewNonce(random)
+	if err != nil {
+		return nil, err
+	}
+	c := &Countersig{Plan: p.Plan, Seq: p.Seq, Relayed: p.X, Digest: digest, Nonce: nonce}
+	if err := c.Sign(key); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ChainLink pairs a downstream settlement with the relay's
+// endorsement of it.
+type ChainLink struct {
+	Proof   PoC
+	Endorse Countersig
+}
+
+// Chain is the full roaming settlement: one link per relay hop,
+// downstream first, then the final settlement with the home operator.
+// Chain.Final.X is what the subscriber is billed.
+type Chain struct {
+	Links []ChainLink
+	Final PoC
+}
+
+// chainPartCap bounds each embedded marshaled part. A PoC embeds a CDA
+// capped at 1<<18, so 1<<19 is generous without being unbounded.
+const chainPartCap = 1 << 19
+
+func putPart(b *bytes.Buffer, part []byte) {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(part)))
+	b.Write(tmp[:])
+	b.Write(part)
+}
+
+func getPart(r *bytes.Reader) ([]byte, error) {
+	var tmp [4]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(tmp[:])
+	if n > chainPartCap {
+		return nil, errors.New("poc: unreasonable chain part length")
+	}
+	part := make([]byte, n)
+	if _, err := io.ReadFull(r, part); err != nil {
+		return nil, err
+	}
+	return part, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (ch *Chain) MarshalBinary() ([]byte, error) {
+	if len(ch.Links) > MaxChainLinks {
+		return nil, ErrChainLength
+	}
+	var b bytes.Buffer
+	b.WriteByte(kindChain)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(ch.Links)))
+	b.Write(tmp[:])
+	for i := range ch.Links {
+		proof, err := ch.Links[i].Proof.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		putPart(&b, proof)
+		cs, err := ch.Links[i].Endorse.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		putPart(&b, cs)
+	}
+	final, err := ch.Final.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	putPart(&b, final)
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. It never
+// panics on arbitrary input — FuzzChainVerify holds it to that.
+func (ch *Chain) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	kind, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if kind != kindChain {
+		return fmt.Errorf("poc: expected chain, got kind %d", kind)
+	}
+	var tmp [4]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(tmp[:])
+	if n > MaxChainLinks {
+		return ErrChainLength
+	}
+	ch.Links = make([]ChainLink, n)
+	for i := range ch.Links {
+		proof, err := getPart(r)
+		if err != nil {
+			return err
+		}
+		if err := ch.Links[i].Proof.UnmarshalBinary(proof); err != nil {
+			return fmt.Errorf("poc: chain link %d proof: %w", i, err)
+		}
+		cs, err := getPart(r)
+		if err != nil {
+			return err
+		}
+		if err := ch.Links[i].Endorse.UnmarshalBinary(cs); err != nil {
+			return fmt.Errorf("poc: chain link %d countersignature: %w", i, err)
+		}
+	}
+	final, err := getPart(r)
+	if err != nil {
+		return err
+	}
+	if err := ch.Final.UnmarshalBinary(final); err != nil {
+		return fmt.Errorf("poc: chain final proof: %w", err)
+	}
+	if r.Len() != 0 {
+		return errors.New("poc: trailing bytes after chain")
+	}
+	return nil
+}
+
+// ChainVerifier verifies full roaming chains against a fixed topology:
+// the vendor's key, the relay keys in downstream-to-upstream order
+// (one visited operator in the common case), and the home operator's
+// key. Like Verifier it keeps a replay set across calls, so a chain —
+// or any single link of one — presented twice is rejected.
+type ChainVerifier struct {
+	VendorKey *rsa.PublicKey
+	RelayKeys []*rsa.PublicKey
+	HomeKey   *rsa.PublicKey
+
+	seen map[[32]byte]bool
+}
+
+// NewChainVerifier returns a verifier for the given topology.
+func NewChainVerifier(vendor *rsa.PublicKey, relays []*rsa.PublicKey, home *rsa.PublicKey) *ChainVerifier {
+	return &ChainVerifier{
+		VendorKey: vendor,
+		RelayKeys: relays,
+		HomeKey:   home,
+		seen:      make(map[[32]byte]bool),
+	}
+}
+
+// claimantVolume extracts the edge-side (claimant) volume of a
+// settlement segment — the number the upstream relay put on the wire
+// as its own usage claim.
+func claimantVolume(p *PoC) uint64 {
+	xe, _ := claimPair(&p.CDA)
+	return xe
+}
+
+// Verify checks a roaming chain end to end:
+//
+//   - the link count matches the relay topology;
+//   - every settlement segment passes Algorithm 2 under the keys of
+//     the two parties that negotiated it;
+//   - every countersignature verifies under its relay's key, binds its
+//     segment's proof by digest, and restates that proof's plan,
+//     sequence, and settled volume exactly;
+//   - the volume each relay claimed upstream equals the volume it
+//     countersigned downstream (no inflation across the handover);
+//   - no link or final proof has been presented to this verifier
+//     before, in this chain or any earlier one.
+//
+// A nil error means every party's charge is consistent with what its
+// downstream neighbour provably settled.
+func (v *ChainVerifier) Verify(ch *Chain, plan Plan) error {
+	if len(ch.Links) == 0 || len(ch.Links) > MaxChainLinks || len(ch.Links) != len(v.RelayKeys) {
+		return ErrChainLength
+	}
+
+	// Collect replay keys first: the whole chain must be judged before
+	// any part of it is marked seen, so a failed chain does not burn
+	// its own links.
+	var marks [][32]byte
+
+	for i := range ch.Links {
+		link := &ch.Links[i]
+		claimant := v.VendorKey
+		if i > 0 {
+			claimant = v.RelayKeys[i-1]
+		}
+		relay := v.RelayKeys[i]
+		if err := VerifyStateless(&link.Proof, plan, claimant, relay); err != nil {
+			return fmt.Errorf("chain link %d: %w", i, err)
+		}
+		digest, err := ProofDigest(&link.Proof)
+		if err != nil {
+			return err
+		}
+		cs := &link.Endorse
+		if cs.Digest != digest {
+			return fmt.Errorf("chain link %d: %w", i, ErrChainDigest)
+		}
+		if !cs.Plan.Equal(plan) {
+			return fmt.Errorf("chain link %d countersignature: %w", i, ErrPlanMismatch)
+		}
+		if cs.Seq != link.Proof.Seq {
+			return fmt.Errorf("chain link %d countersignature: %w", i, ErrSequenceMismatch)
+		}
+		if cs.Relayed != link.Proof.X {
+			return fmt.Errorf("chain link %d: %w", i, ErrChainRelay)
+		}
+		if err := cs.Verify(relay); err != nil {
+			return fmt.Errorf("chain link %d: %w", i, ErrCountersig)
+		}
+		// The next segment's claimant must claim exactly what this
+		// relay countersigned.
+		if i+1 < len(ch.Links) {
+			if claimantVolume(&ch.Links[i+1].Proof) != cs.Relayed {
+				return fmt.Errorf("chain link %d->%d: %w", i, i+1, ErrChainRelay)
+			}
+		}
+		marks = append(marks, digest)
+	}
+
+	last := len(ch.Links) - 1
+	if err := VerifyStateless(&ch.Final, plan, v.RelayKeys[last], v.HomeKey); err != nil {
+		return fmt.Errorf("chain final: %w", err)
+	}
+	if claimantVolume(&ch.Final) != ch.Links[last].Endorse.Relayed {
+		return fmt.Errorf("chain final: %w", ErrChainRelay)
+	}
+	marks = append(marks, replayKey(&ch.Final))
+
+	// Replay defence: within the chain (a link pasted twice) and
+	// across calls (a link or final proof lifted from an earlier
+	// chain).
+	fresh := make(map[[32]byte]bool, len(marks))
+	for _, m := range marks {
+		if v.seen[m] || fresh[m] {
+			return ErrReplay
+		}
+		fresh[m] = true
+	}
+	for _, m := range marks {
+		v.seen[m] = true
+	}
+	return nil
+}
+
+// ChainVerifyStateless verifies a chain without the cross-call replay
+// set; it suits bulk re-verification of archived chains.
+func ChainVerifyStateless(ch *Chain, plan Plan, vendor *rsa.PublicKey, relays []*rsa.PublicKey, home *rsa.PublicKey) error {
+	return NewChainVerifier(vendor, relays, home).Verify(ch, plan)
+}

@@ -1,0 +1,92 @@
+package poc
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"testing"
+)
+
+// chainFuzzFixture builds the canonical honest chain once per fuzz
+// run plus the interesting forgeries (swapped link, duplicate link,
+// truncated chain) as structured seeds.
+type chainFuzzFixture struct {
+	chain     *Chain
+	chainData []byte
+	relays    []*rsa.PublicKey
+}
+
+func newChainFuzzFixture(tb testing.TB) *chainFuzzFixture {
+	ch := buildTestChain(tb, 4242, 1000, 900, 850)
+	data, err := ch.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	relays := []*rsa.PublicKey{testVisitedKey.Public}
+	if err := ChainVerifyStateless(ch, testPlan, testVendorKey.Public, relays, testHomeKey.Public); err != nil {
+		tb.Fatalf("canonical chain does not verify: %v", err)
+	}
+	return &chainFuzzFixture{chain: ch, chainData: data, relays: relays}
+}
+
+func mustMarshalChain(tb testing.TB, ch *Chain) []byte {
+	tb.Helper()
+	data, err := ch.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzChainVerify mutates marshalled roaming chains. The oracle is the
+// same unforgeability contract as FuzzPoCVerify, lifted to chains: any
+// input that parses AND passes full chain verification (fresh replay
+// set) must re-marshal byte-identically to the one genuine chain. No
+// truncation, link swap, duplicated countersignature, volume edit or
+// signature bit flip may ever verify.
+func FuzzChainVerify(f *testing.F) {
+	fx := newChainFuzzFixture(f)
+
+	f.Add(fx.chainData)
+	// Truncated chain: the final settlement without its endorsed
+	// vendor segment.
+	f.Add(mustMarshalChain(f, &Chain{Final: fx.chain.Final}))
+	// Swapped link: a foreign proof under the genuine countersignature.
+	other := buildTestChain(f, 4343, 1200, 1100, 1000)
+	f.Add(mustMarshalChain(f, &Chain{
+		Links: []ChainLink{{Proof: other.Links[0].Proof, Endorse: fx.chain.Links[0].Endorse}},
+		Final: fx.chain.Final,
+	}))
+	// Duplicate countersignature: the same endorsed link pasted twice.
+	f.Add(mustMarshalChain(f, &Chain{
+		Links: []ChainLink{fx.chain.Links[0], fx.chain.Links[0]},
+		Final: fx.chain.Final,
+	}))
+	// Byte-level mutations: truncation, mid-body and tail bit flips,
+	// bare kind byte, garbage.
+	f.Add(fx.chainData[:len(fx.chainData)/2])
+	mid := append([]byte(nil), fx.chainData...)
+	mid[len(mid)/2] ^= 1
+	f.Add(mid)
+	tail := append([]byte(nil), fx.chainData...)
+	tail[len(tail)-1] ^= 0x80
+	f.Add(tail)
+	f.Add([]byte{kindChain})
+	f.Add([]byte("not a chain at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ch Chain
+		if err := ch.UnmarshalBinary(data); err != nil {
+			return // unparseable: rejected before crypto, fine
+		}
+		if err := ChainVerifyStateless(&ch, testPlan, testVendorKey.Public, fx.relays, testHomeKey.Public); err != nil {
+			return // parsed but rejected: fine
+		}
+		re, err := ch.MarshalBinary()
+		if err != nil {
+			t.Fatalf("verified chain fails to re-marshal: %v", err)
+		}
+		if !bytes.Equal(re, fx.chainData) {
+			t.Fatalf("a mutated chain verified:\n in  %x\n out %x", data, re)
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package poc
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"errors"
+	"testing"
+
+	"tlc/internal/core"
+	"tlc/internal/sim"
+)
+
+var (
+	testVendorKey  *KeyPair
+	testVisitedKey *KeyPair
+	testHomeKey    *KeyPair
+)
+
+func init() {
+	rng := sim.NewRNG(5678)
+	var err error
+	if testVendorKey, err = GenerateKeyPair(DefaultKeyBits, rng.Fork("vendor")); err != nil {
+		panic(err)
+	}
+	if testVisitedKey, err = GenerateKeyPair(DefaultKeyBits, rng.Fork("visited")); err != nil {
+		panic(err)
+	}
+	if testHomeKey, err = GenerateKeyPair(DefaultKeyBits, rng.Fork("home")); err != nil {
+		panic(err)
+	}
+}
+
+// buildSegment runs one vendor-initiated bilateral settlement between
+// claimant and operator key pairs: CDR(edge, xe) -> CDA(operator, xo)
+// -> PoC finished by the claimant.
+func buildSegment(tb testing.TB, plan Plan, rng *sim.RNG, claimant, operator *KeyPair, xe, xo uint64) *PoC {
+	tb.Helper()
+	cdr, err := BuildCDR(plan, RoleEdge, 0, xe, rng, claimant.Private)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cda, err := BuildCDA(plan, RoleOperator, 0, xo, cdr, rng, operator.Private)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	proof, err := BuildPoC(cda, claimant.Private)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return proof
+}
+
+// buildTestChain assembles an honest single-relay roaming chain:
+// vendor claims xe against the visited operator's xv, the visited
+// operator countersigns the settlement and claims exactly X1 upstream
+// against the home operator's xh.
+func buildTestChain(tb testing.TB, seed int64, xe, xv, xh uint64) *Chain {
+	tb.Helper()
+	rng := sim.NewRNG(seed)
+	seg1 := buildSegment(tb, testPlan, rng.Fork("seg1"), testVendorKey, testVisitedKey, xe, xv)
+	cs, err := Countersign(seg1, rng.Fork("cs"), testVisitedKey.Private)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	final := buildSegment(tb, testPlan, rng.Fork("seg2"), testVisitedKey, testHomeKey, cs.Relayed, xh)
+	return &Chain{Links: []ChainLink{{Proof: *seg1, Endorse: *cs}}, Final: *final}
+}
+
+func chainVerifier() *ChainVerifier {
+	return NewChainVerifier(testVendorKey.Public,
+		[]*rsa.PublicKey{testVisitedKey.Public}, testHomeKey.Public)
+}
+
+func TestChainRoundTrip(t *testing.T) {
+	ch := buildTestChain(t, 1, 1000, 900, 850)
+	data, err := ch.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Chain
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	re, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, re) {
+		t.Fatal("chain round trip not byte-identical")
+	}
+}
+
+func TestChainVerifyHonest(t *testing.T) {
+	ch := buildTestChain(t, 2, 1000, 900, 850)
+	v := chainVerifier()
+	if err := v.Verify(ch, testPlan); err != nil {
+		t.Fatalf("honest chain rejected: %v", err)
+	}
+	// The chained charge follows Algorithm 1 twice.
+	x1 := RoundVolume(core.Charge(testPlan.C, 1000, 900))
+	if ch.Links[0].Proof.X != x1 {
+		t.Fatalf("segment 1 X = %d, want %d", ch.Links[0].Proof.X, x1)
+	}
+	x2 := RoundVolume(core.Charge(testPlan.C, float64(x1), 850))
+	if ch.Final.X != x2 {
+		t.Fatalf("final X = %d, want %d", ch.Final.X, x2)
+	}
+	// Presenting the same chain twice is a replay.
+	if err := v.Verify(ch, testPlan); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed chain: err = %v, want ErrReplay", err)
+	}
+}
+
+func TestChainVerifyRejectsInflatedRelay(t *testing.T) {
+	// The visited operator settles X1 with the vendor but claims twice
+	// that upstream; the countersignature can restate whatever it wants
+	// — either it contradicts the proof it binds (Relayed != X) or it
+	// contradicts the upstream claim. Both die as ErrChainRelay.
+	ch := buildTestChain(t, 3, 1000, 900, 850)
+	rng := sim.NewRNG(33)
+	x1 := ch.Links[0].Proof.X
+	inflated := buildSegment(t, testPlan, rng, testVisitedKey, testHomeKey, 2*x1, 850)
+	forged := &Chain{Links: ch.Links, Final: *inflated}
+	if err := chainVerifier().Verify(forged, testPlan); !errors.Is(err, ErrChainRelay) {
+		t.Fatalf("inflated upstream claim: err = %v, want ErrChainRelay", err)
+	}
+
+	// Insider variant: the visited operator re-countersigns with an
+	// inflated Relayed to match its upstream claim. Its own signature
+	// is genuine, but the endorsement now contradicts the vendor
+	// segment's settled X.
+	cs, err := Countersign(&ch.Links[0].Proof, rng, testVisitedKey.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Relayed = 2 * x1
+	if err := cs.Sign(testVisitedKey.Private); err != nil {
+		t.Fatal(err)
+	}
+	forged = &Chain{
+		Links: []ChainLink{{Proof: ch.Links[0].Proof, Endorse: *cs}},
+		Final: *inflated,
+	}
+	if err := chainVerifier().Verify(forged, testPlan); !errors.Is(err, ErrChainRelay) {
+		t.Fatalf("inflated countersignature: err = %v, want ErrChainRelay", err)
+	}
+}
+
+func TestChainVerifyRejectsTamperedCountersig(t *testing.T) {
+	ch := buildTestChain(t, 4, 1000, 900, 850)
+	tampered := *ch
+	tampered.Links = append([]ChainLink(nil), ch.Links...)
+	sig := append([]byte(nil), ch.Links[0].Endorse.Signature...)
+	sig[len(sig)/2] ^= 0x40
+	tampered.Links[0].Endorse.Signature = sig
+	if err := chainVerifier().Verify(&tampered, testPlan); !errors.Is(err, ErrCountersig) {
+		t.Fatalf("tampered countersignature: err = %v, want ErrCountersig", err)
+	}
+
+	tampered.Links = append([]ChainLink(nil), ch.Links...)
+	tampered.Links[0].Endorse.Digest[0] ^= 1
+	if err := chainVerifier().Verify(&tampered, testPlan); !errors.Is(err, ErrChainDigest) {
+		t.Fatalf("tampered digest: err = %v, want ErrChainDigest", err)
+	}
+}
+
+func TestChainVerifyRejectsSwappedLink(t *testing.T) {
+	// A proof from a different negotiation under the countersignature
+	// of the genuine one: the digest binding catches the swap even
+	// though both proofs verify bilaterally.
+	ch := buildTestChain(t, 5, 1000, 900, 850)
+	other := buildTestChain(t, 6, 1200, 1100, 1000)
+	swapped := &Chain{
+		Links: []ChainLink{{Proof: other.Links[0].Proof, Endorse: ch.Links[0].Endorse}},
+		Final: ch.Final,
+	}
+	if err := chainVerifier().Verify(swapped, testPlan); !errors.Is(err, ErrChainDigest) {
+		t.Fatalf("swapped link: err = %v, want ErrChainDigest", err)
+	}
+}
+
+func TestChainVerifyRejectsReplayedLink(t *testing.T) {
+	// A genuine link lifted from an already-settled chain into a fresh
+	// one: every segment and countersignature verifies, the relayed
+	// volumes line up, and only the verifier's replay set stops the
+	// visited operator from billing the same vendor settlement twice.
+	ch := buildTestChain(t, 7, 1000, 900, 850)
+	v := chainVerifier()
+	if err := v.Verify(ch, testPlan); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(77)
+	fresh := buildSegment(t, testPlan, rng, testVisitedKey, testHomeKey, ch.Links[0].Endorse.Relayed, 840)
+	replay := &Chain{Links: ch.Links, Final: *fresh}
+	if err := v.Verify(replay, testPlan); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replayed link: err = %v, want ErrReplay", err)
+	}
+	// A stateless verifier (fresh replay set) accepts it — the battery
+	// and the ledger audit must therefore always verify statefully.
+	if err := chainVerifier().Verify(replay, testPlan); err != nil {
+		t.Fatalf("fresh verifier should accept the re-linked chain: %v", err)
+	}
+}
+
+func TestChainVerifyRejectsDuplicateLink(t *testing.T) {
+	// The same link pasted twice into one chain must fail even on a
+	// fresh verifier: in-chain duplicates are checked before the
+	// cross-call set. (Two relays in the topology to make room.)
+	ch := buildTestChain(t, 8, 1000, 900, 850)
+	dup := &Chain{Links: []ChainLink{ch.Links[0], ch.Links[0]}, Final: ch.Final}
+	v := NewChainVerifier(testVendorKey.Public,
+		[]*rsa.PublicKey{testVisitedKey.Public, testVisitedKey.Public}, testHomeKey.Public)
+	err := v.Verify(dup, testPlan)
+	if err == nil {
+		t.Fatal("duplicate link verified")
+	}
+	// Duplicated links fail the relay-consistency walk (link 0's
+	// Relayed vs link 1's claimant volume) or, if the volumes happen to
+	// coincide, the in-chain duplicate check.
+	if !errors.Is(err, ErrChainRelay) && !errors.Is(err, ErrReplay) {
+		t.Fatalf("duplicate link: err = %v", err)
+	}
+}
+
+func TestChainVerifyRejectsWrongLength(t *testing.T) {
+	ch := buildTestChain(t, 9, 1000, 900, 850)
+	v := chainVerifier()
+	if err := v.Verify(&Chain{Final: ch.Final}, testPlan); !errors.Is(err, ErrChainLength) {
+		t.Fatalf("empty chain: err = %v, want ErrChainLength", err)
+	}
+	long := &Chain{Links: []ChainLink{ch.Links[0], ch.Links[0]}, Final: ch.Final}
+	if err := v.Verify(long, testPlan); !errors.Is(err, ErrChainLength) {
+		t.Fatalf("chain longer than topology: err = %v, want ErrChainLength", err)
+	}
+}
+
+func TestChainVerifyRejectsTruncatedChain(t *testing.T) {
+	// Dropping the endorsed vendor segment and presenting only the
+	// upstream settlement is the visited operator hiding its downstream
+	// cost; the topology pins the link count.
+	ch := buildTestChain(t, 10, 1000, 900, 850)
+	data, err := (&Chain{Final: ch.Final}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Chain
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := chainVerifier().Verify(&back, testPlan); !errors.Is(err, ErrChainLength) {
+		t.Fatalf("truncated chain: err = %v, want ErrChainLength", err)
+	}
+}

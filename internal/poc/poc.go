@@ -55,6 +55,11 @@ const (
 	RoleEdge Role = 1
 	// RoleOperator is the cellular operator.
 	RoleOperator Role = 2
+	// RoleVisited is a visited operator relaying a roaming subscriber's
+	// traffic. It never appears inside a bilateral CDR/CDA/PoC chain —
+	// on the wire each settlement segment keeps the edge/operator role
+	// pair — but it identifies the countersigner of a chain link.
+	RoleVisited Role = 3
 )
 
 // Other returns the opposite role.
@@ -72,6 +77,8 @@ func (r Role) String() string {
 		return "edge"
 	case RoleOperator:
 		return "operator"
+	case RoleVisited:
+		return "visited"
 	default:
 		return fmt.Sprintf("Role(%d)", uint8(r))
 	}

@@ -240,9 +240,70 @@ func TestRetrierDeadline(t *testing.T) {
 		t.Fatalf("err = %v, want ErrRetryBudget", err)
 	}
 	// attempt 1 (free), backoff 100ms fits (100 <= 150), attempt 2,
-	// next backoff 200ms would pass the deadline: stop at 2 calls.
-	if calls != 2 {
-		t.Fatalf("calls = %d, want 2", calls)
+	// next backoff 200ms is capped at the 50ms remaining, attempt 3,
+	// budget now exhausted (elapsed == deadline): stop at 3 calls.
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if elapsed != 150*time.Millisecond {
+		t.Fatalf("slept %s total, want exactly the 150ms deadline", elapsed)
+	}
+}
+
+// TestRetrierBackoffNoOverflow: the doubling loop used to multiply
+// first and clamp after, so with a very large MaxDelay ("effectively
+// uncapped") the duration overflowed negative around attempt 40 — a
+// negative Sleep returns immediately and the retry loop hot-spins.
+// The clamped loop must stay positive, monotone, and saturate.
+func TestRetrierBackoffNoOverflow(t *testing.T) {
+	r := &Retrier{BaseDelay: time.Second, MaxDelay: 1<<63 - 1}
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 80; attempt++ {
+		d := r.backoff(attempt)
+		if d <= 0 {
+			t.Fatalf("backoff(%d) = %v, want positive (overflow)", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("backoff(%d) = %v < backoff(%d) = %v, want monotone", attempt, d, attempt-1, prev)
+		}
+		prev = d
+	}
+	if prev != r.MaxDelay {
+		t.Fatalf("backoff(79) = %v, want saturation at MaxDelay", prev)
+	}
+}
+
+// TestRetrierSleepCappedAtDeadline: with an uncapped MaxDelay and many
+// attempts, every backoff must be trimmed to the deadline remaining —
+// the loop sleeps exactly the budget in total and never oversleeps,
+// even where the raw doubled backoff has long since overflowed.
+func TestRetrierSleepCappedAtDeadline(t *testing.T) {
+	elapsed := time.Duration(0)
+	r := &Retrier{
+		MaxAttempts: 50,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    1<<63 - 1,
+		Deadline:    time.Second,
+		Sleep: func(d time.Duration) {
+			if d <= 0 {
+				t.Fatalf("slept %v, want positive", d)
+			}
+			elapsed += d
+		},
+		Elapsed: func() time.Duration { return elapsed },
+	}
+	calls := 0
+	err := r.Do(func(int) error { calls++; return io.ErrUnexpectedEOF })
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	// Sleeps 100+200+400+300(capped) = the 1s budget exactly; the
+	// fifth call runs with no budget left for a sixth.
+	if calls != 5 {
+		t.Fatalf("calls = %d, want 5", calls)
+	}
+	if elapsed != time.Second {
+		t.Fatalf("slept %s total, want exactly the 1s deadline", elapsed)
 	}
 }
 

@@ -43,7 +43,9 @@ type Retrier struct {
 	// 50ms), capped at MaxDelay (default 2s).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
-	// Deadline bounds Elapsed()+nextBackoff; zero means no deadline.
+	// Deadline bounds the whole loop: once Elapsed() reaches it no
+	// further attempt starts, and backoffs are capped at the budget
+	// remaining so a sleep never overshoots it. Zero means no deadline.
 	Deadline time.Duration
 	// Sleep waits out a backoff; nil skips the wait.
 	Sleep func(time.Duration)
@@ -69,10 +71,16 @@ func (r *Retrier) backoff(attempt int) time.Duration {
 		max = 2 * time.Second
 	}
 	for i := 0; i < attempt; i++ {
-		d *= 2
-		if d >= max {
+		// Clamp before doubling: past max/2 the next doubling either
+		// reaches max or overflows time.Duration (attempt ≥ ~40 with a
+		// large MaxDelay flips d negative and the sleep never happens).
+		if d >= max || d > max/2 {
 			return max
 		}
+		d *= 2
+	}
+	if d > max {
+		return max
 	}
 	return d
 }
@@ -85,8 +93,18 @@ func (r *Retrier) Do(op func(attempt int) error) error {
 	for attempt := 0; attempt < r.maxAttempts(); attempt++ {
 		if attempt > 0 {
 			d := r.backoff(attempt - 1)
-			if r.Deadline > 0 && r.Elapsed != nil && r.Elapsed()+d > r.Deadline {
-				return fmt.Errorf("%w: deadline before attempt %d: %v", ErrRetryBudget, attempt+1, last)
+			if r.Deadline > 0 && r.Elapsed != nil {
+				// Cap the sleep at the remaining budget instead of
+				// refusing the attempt: a retry that still fits the
+				// deadline should run, just without oversleeping it.
+				// (Subtracting also avoids the Elapsed()+d overflow.)
+				remaining := r.Deadline - r.Elapsed()
+				if remaining <= 0 {
+					return fmt.Errorf("%w: deadline before attempt %d: %v", ErrRetryBudget, attempt+1, last)
+				}
+				if d > remaining {
+					d = remaining
+				}
 			}
 			Metrics.Retries.Inc()
 			if r.Sleep != nil {

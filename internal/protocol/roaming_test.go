@@ -1,0 +1,127 @@
+package protocol
+
+import (
+	"crypto/rsa"
+	"errors"
+	"testing"
+	"time"
+
+	"tlc/internal/core"
+	"tlc/internal/poc"
+	"tlc/internal/sim"
+)
+
+var (
+	roamVendorKeys  *poc.KeyPair
+	roamVisitedKeys *poc.KeyPair
+	roamHomeKeys    *poc.KeyPair
+	roamPlan        = poc.Plan{TStart: 0, TEnd: int64(time.Hour), C: 0.5}
+)
+
+func init() {
+	rng := sim.NewRNG(8765)
+	var err error
+	if roamVendorKeys, err = poc.GenerateKeyPair(poc.DefaultKeyBits, rng.Fork("vendor")); err != nil {
+		panic(err)
+	}
+	if roamVisitedKeys, err = poc.GenerateKeyPair(poc.DefaultKeyBits, rng.Fork("visited")); err != nil {
+		panic(err)
+	}
+	if roamHomeKeys, err = poc.GenerateKeyPair(poc.DefaultKeyBits, rng.Fork("home")); err != nil {
+		panic(err)
+	}
+}
+
+// roamConfig is an honest three-party run with the drop inside the
+// visited network: the vendor's 1000 bytes all reach the visited
+// ingress, only 900 reach the subscriber.
+func roamConfig(seed int64) RoamingConfig {
+	return RoamingConfig{
+		Plan:            roamPlan,
+		VendorKeys:      roamVendorKeys,
+		VisitedKeys:     roamVisitedKeys,
+		HomeKeys:        roamHomeKeys,
+		VendorStrategy:  core.HonestStrategy{},
+		VisitedStrategy: core.HonestStrategy{},
+		HomeStrategy:    core.HonestStrategy{},
+		VendorView:      core.View{Sent: 1000, Received: 1000},
+		VisitedViewA:    core.View{Sent: 1000, Received: 1000},
+		HomeView:        core.View{Sent: 1000, Received: 900},
+		RNG:             sim.NewRNG(seed),
+	}
+}
+
+func TestRunRoamingHonest(t *testing.T) {
+	res, err := RunRoaming(roamConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chain == nil {
+		t.Fatal("no chain accepted")
+	}
+	// Downstream settles at the agreed 1000; upstream applies
+	// Algorithm 1 over (X1, 900).
+	if res.X1 != 1000 {
+		t.Fatalf("X1 = %d, want 1000", res.X1)
+	}
+	wantX2 := poc.RoundVolume(core.Charge(roamPlan.C, float64(res.X1), 900))
+	if res.X2 != wantX2 {
+		t.Fatalf("X2 = %d, want %d", res.X2, wantX2)
+	}
+	if res.Chain.Final.X != res.X2 || res.Chain.Links[0].Proof.X != res.X1 {
+		t.Fatalf("chain volumes (%d, %d) disagree with results (%d, %d)",
+			res.Chain.Links[0].Proof.X, res.Chain.Final.X, res.X1, res.X2)
+	}
+	// The accepted chain re-verifies for any third party.
+	if err := poc.ChainVerifyStateless(res.Chain, roamPlan, roamVendorKeys.Public,
+		[]*rsa.PublicKey{roamVisitedKeys.Public}, roamHomeKeys.Public); err != nil {
+		t.Fatalf("accepted chain fails third-party verification: %v", err)
+	}
+}
+
+func TestRunRoamingForgedChainRejected(t *testing.T) {
+	cfg := roamConfig(2)
+	cfg.Forge = func(ch *poc.Chain) *poc.Chain {
+		forged := *ch
+		forged.Links = append([]poc.ChainLink(nil), ch.Links...)
+		sig := append([]byte(nil), forged.Links[0].Endorse.Signature...)
+		sig[0] ^= 1
+		forged.Links[0].Endorse.Signature = sig
+		return &forged
+	}
+	_, err := RunRoaming(cfg)
+	if !errors.Is(err, ErrBadChain) {
+		t.Fatalf("forged chain: err = %v, want ErrBadChain", err)
+	}
+}
+
+func TestRunRoamingPersistentVerifierStopsReplay(t *testing.T) {
+	verifier := poc.NewChainVerifier(roamVendorKeys.Public,
+		[]*rsa.PublicKey{roamVisitedKeys.Public}, roamHomeKeys.Public)
+
+	cfg := roamConfig(3)
+	cfg.Verifier = verifier
+	first, err := RunRoaming(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Next cycle, the visited operator swaps in the already-settled
+	// link to double-bill the vendor segment. Same verifier: replay.
+	cfg2 := roamConfig(4)
+	cfg2.Verifier = verifier
+	cfg2.Forge = func(ch *poc.Chain) *poc.Chain {
+		return &poc.Chain{Links: first.Chain.Links, Final: ch.Final}
+	}
+	_, err = RunRoaming(cfg2)
+	if !errors.Is(err, ErrBadChain) {
+		t.Fatalf("replayed link: err = %v, want ErrBadChain", err)
+	}
+
+	// An honest second cycle under the same verifier still settles.
+	cfg3 := roamConfig(5)
+	cfg3.Verifier = verifier
+	if _, err := RunRoaming(cfg3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -260,12 +260,15 @@ func (e *Engine) ServeConn(conn io.ReadWriter, hello []byte) error {
 		}
 	}
 
-	// Teardown: fail whatever is still resident for this conn, then
-	// let the writer flush and exit. Workers may be settling these
-	// sessions concurrently; the per-session state CAS arbitrates.
-	for _, s := range c.sessions {
-		e.failSession(s, RejectShutdown, nil)
-	}
+	// Teardown: fail whatever is still resident for this conn before
+	// its id could ever be observed again, then let the writer flush
+	// and exit. The table-wide sweep (not the reader-local c.sessions
+	// index) is authoritative — it also evicts sessions another
+	// muxConn admitted under the same id, so a reused conn id can
+	// never alias a dead conn's sessions. Workers may be settling
+	// these sessions concurrently; the per-session state CAS
+	// arbitrates.
+	e.evictConn(c.id)
 	c.out.close()
 	<-writerDone
 	return readErr

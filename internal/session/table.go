@@ -123,6 +123,27 @@ func (e *Engine) dispatch(c *muxConn, sid uint64, payload []byte) {
 
 	sh.mu.Lock()
 	s := sh.sessions[key]
+	if s != nil && s.conn != c {
+		// Stale resident: a session keyed (conn, sid) whose muxConn is
+		// not the one dispatching that conn id — the id was reused
+		// after a reconnect before the dead conn's sessions were swept.
+		// Without this guard the new client's frames would feed the
+		// dead conn's machine (and its replies would go to the dead
+		// writer). Evict the stale session and admit this one fresh.
+		sh.mu.Unlock()
+		Metrics.StaleEvicted.Inc()
+		e.failSession(s, RejectShutdown, nil)
+		sh.mu.Lock()
+		s = sh.sessions[key]
+		if s != nil && s.conn != c {
+			// A settle/fail racing the eviction removes the entry via
+			// the state CAS; nothing else can re-insert under a conn id
+			// owned by this reader. Drop the frame if the map is still
+			// settling out — the client will retransmit or time out.
+			sh.mu.Unlock()
+			return
+		}
+	}
 	if s == nil {
 		// First frame for this id: admission control, then open.
 		if e.stopped.Load() {
@@ -289,6 +310,29 @@ func (e *Engine) failSession(s *session, code byte, cause error) {
 		detail = cause.Error()
 	}
 	s.conn.sendReject(s.key.sid, code, detail)
+}
+
+// evictConn fails every session still resident in the table under
+// conn id. It is the authoritative teardown sweep: unlike the
+// reader-local c.sessions index, it also catches sessions admitted by
+// a *different* muxConn carrying the same id, so a connection id can
+// never be reused while a dead conn's sessions still alias its keys.
+// Victims are collected under the shard lock but failed outside it
+// (failSession re-enters the shard lock through removeSession).
+func (e *Engine) evictConn(id uint64) {
+	var victims []*session
+	for _, sh := range e.table.shards {
+		sh.mu.Lock()
+		for k, s := range sh.sessions {
+			if k.conn == id {
+				victims = append(victims, s)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, s := range victims {
+		e.failSession(s, RejectShutdown, nil)
+	}
 }
 
 // removeSession deletes the session from its shard. The conn-side

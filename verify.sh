@@ -45,6 +45,12 @@
 #   bench      — every benchmark compiles and survives one iteration,
 #                plus a quick sharded city run at -shards 2 through
 #                the tlcbench CLI (exercises the -shards plumbing)
+#   roaming    — the multi-operator settlement chain: chain codec and
+#                verifier forgery battery, the three-party wire
+#                protocol, the chained-game/settlement property tests
+#                and the roaming experiment (byz_chain_verified == 0,
+#                worker parity), all under the race detector, plus a
+#                short coverage-guided fuzz of the chain verifier
 #   fuzz       — short coverage-guided smoke on the adversarial
 #                surfaces: the protocol framing decoder, the mux frame
 #                decoder and the PoC verifier (forged proofs must
@@ -94,6 +100,8 @@ stage ledger go run ./cmd/tlcbench -ledger-check BENCH_ledger.json
 stage allocs go test -run ZeroAlloc ./internal/sim ./internal/netem ./internal/metrics ./internal/protocol ./internal/ledger
 stage bench go test -run '^$' -bench . -benchtime 1x ./...
 stage bench city_smoke
+stage roaming go test -run 'Chain|Roaming|Byzantine|Settle|Forger|ChainedG' -race ./internal/poc ./internal/protocol ./internal/roaming ./internal/experiment
+stage roaming go test -run '^$' -fuzz '^FuzzChainVerify$' -fuzztime 10s ./internal/poc
 stage fuzz go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/protocol
 stage fuzz go test -run '^$' -fuzz '^FuzzDecodeMux$' -fuzztime 10s ./internal/session
 stage fuzz go test -run '^$' -fuzz '^FuzzPoCVerify$' -fuzztime 10s ./internal/poc
